@@ -1,0 +1,106 @@
+// Package bench is the top-level benchmark harness: one benchmark per table
+// and figure of the paper (plus the extension ablations), each regenerating
+// the corresponding rows/series through internal/experiments. The first
+// iteration of every benchmark prints the rendered result, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation in one run. Results are cached under
+// artifacts/cache — the first run trains models and simulates measurements,
+// subsequent runs re-render from cache.
+package bench
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"advhunter/internal/experiments"
+)
+
+// benchOpts returns the options used by the harness. The BENCH_QUICK
+// environment variable switches to reduced workloads (useful on slow CI).
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		CacheDir: "artifacts/cache",
+		Quick:    os.Getenv("BENCH_QUICK") != "",
+	}
+}
+
+// runExperiment executes one registered experiment b.N times, rendering the
+// result to stdout on the first iteration only.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		var out io.Writer = io.Discard
+		if i == 0 {
+			out = os.Stdout
+		}
+		if err := experiments.Run(id, opts, out); err != nil {
+			b.Fatalf("experiment %s: %v", id, err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (scenarios and clean accuracies).
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkFigure1 regenerates Figure 1 (activated-neuron distributions on
+// the case-study CNN).
+func BenchmarkFigure1(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFigure3 regenerates Figure 3 (core-event distributions under
+// targeted FGSM in S2).
+func BenchmarkFigure3(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkTable2 regenerates Table 2 (per-category accuracy and F1 across
+// the five core events).
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkFigure4 regenerates Figure 4 (attack effectiveness and detection
+// across attacks, strengths and scenarios).
+func BenchmarkFigure4(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFigure5 regenerates Figure 5 (cache sub-event distributions under
+// untargeted FGSM).
+func BenchmarkFigure5(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkTable3 regenerates Table 3 (F1 per cache-miss sub-event vs attack
+// strength).
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkFigure6 regenerates Figure 6 (F1 vs validation-set size with
+// resampled validation draws).
+func BenchmarkFigure6(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkAblationReplacement sweeps the LLC replacement policy (extension).
+func BenchmarkAblationReplacement(b *testing.B) { runExperiment(b, "ablation-replacement") }
+
+// BenchmarkAblationPrefetch sweeps L1D prefetchers (extension).
+func BenchmarkAblationPrefetch(b *testing.B) { runExperiment(b, "ablation-prefetch") }
+
+// BenchmarkAblationQuant sweeps tensor storage precision (extension).
+func BenchmarkAblationQuant(b *testing.B) { runExperiment(b, "ablation-quant") }
+
+// BenchmarkAblationBranchy compares SIMD and scalar kernels (extension).
+func BenchmarkAblationBranchy(b *testing.B) { runExperiment(b, "ablation-branchy") }
+
+// BenchmarkAblationNoise sweeps measurement noise and repetition count
+// (extension).
+func BenchmarkAblationNoise(b *testing.B) { runExperiment(b, "ablation-noise") }
+
+// BenchmarkAblationDetectors compares detector variants and baselines
+// (extension).
+func BenchmarkAblationDetectors(b *testing.B) { runExperiment(b, "ablation-detectors") }
+
+// BenchmarkAblationCoRunner sweeps shared-LLC co-runner contention
+// (extension).
+func BenchmarkAblationCoRunner(b *testing.B) { runExperiment(b, "ablation-corunner") }
+
+// BenchmarkControlNoise runs the random-noise control (extension).
+func BenchmarkControlNoise(b *testing.B) { runExperiment(b, "control-noise") }
+
+// BenchmarkAdaptiveAttacker sweeps the AdvHunter-aware adaptive attacker
+// (extension).
+func BenchmarkAdaptiveAttacker(b *testing.B) { runExperiment(b, "adaptive-attacker") }

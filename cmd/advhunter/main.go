@@ -1,0 +1,212 @@
+// Command advhunter drives the AdvHunter reproduction: train scenario
+// models, craft adversarial examples, measure simulated HPC readings, run
+// the detector, and regenerate every table and figure of the paper.
+//
+// Usage:
+//
+//	advhunter list
+//	advhunter experiment -id table2 [-cache DIR] [-quick] [-v]
+//	advhunter train -scenario S2 [-cache DIR]
+//	advhunter attack -scenario S2 -kind fgsm -eps 0.5 -targeted [-n 60]
+//	advhunter scan -scenario S2 [-n 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"advhunter/internal/core"
+	"advhunter/internal/data"
+	"advhunter/internal/experiments"
+	"advhunter/internal/uarch/hpc"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "experiment":
+		err = cmdExperiment(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "attack":
+		err = cmdAttack(os.Args[2:])
+	case "scan":
+		err = cmdScan(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "advhunter: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "advhunter: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `advhunter — HPC side-channel adversarial-example detection (DAC'24 reproduction)
+
+commands:
+  list        list experiments and scenarios
+  experiment  run one experiment by id (-id table2)
+  train       train or load one scenario model (-scenario S2)
+  attack      craft adversarial examples and report attack statistics
+  scan        run the deployed pipeline on test images and print decisions
+
+run 'advhunter <command> -h' for flags.`)
+}
+
+// commonFlags registers the flags every subcommand shares.
+func commonFlags(fs *flag.FlagSet) (cache *string, quick *bool, verbose *bool) {
+	cache = fs.String("cache", "artifacts/cache", "cache directory for models and measurements (empty disables)")
+	quick = fs.Bool("quick", false, "reduced workload sizes (for smoke tests)")
+	verbose = fs.Bool("v", false, "log progress to stderr")
+	return
+}
+
+func optionsFrom(cache string, quick, verbose bool) experiments.Options {
+	var log io.Writer
+	if verbose {
+		log = os.Stderr
+	}
+	return experiments.Options{CacheDir: cache, Quick: quick, Log: log}
+}
+
+func cmdList() error {
+	fmt.Println("experiments:")
+	for _, id := range experiments.IDs() {
+		fmt.Printf("  %-22s %s\n", id, experiments.Registry[id].Description)
+	}
+	fmt.Println("\nscenarios:")
+	for _, id := range []string{"S1", "S2", "S3", "CS"} {
+		s := experiments.Scenarios[id]
+		fmt.Printf("  %-3s %s × %s (%d classes, target %q)\n",
+			id, s.Dataset, s.Arch, classesOf(s.Dataset), data.ClassName(s.Dataset, s.TargetClass))
+	}
+	return nil
+}
+
+func classesOf(dataset string) int {
+	if dataset == "gtsrb" {
+		return 43
+	}
+	return 10
+}
+
+func cmdExperiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	id := fs.String("id", "", "experiment id (see 'advhunter list'), or 'all'")
+	asJSON := fs.Bool("json", false, "emit the result as JSON instead of a table")
+	cache, quick, verbose := commonFlags(fs)
+	fs.Parse(args)
+	opts := optionsFrom(*cache, *quick, *verbose)
+	run := experiments.Run
+	if *asJSON {
+		run = experiments.RunJSON
+	}
+	if *id == "all" {
+		for _, eid := range experiments.IDs() {
+			if err := run(eid, opts, os.Stdout); err != nil {
+				return fmt.Errorf("experiment %s: %w", eid, err)
+			}
+		}
+		return nil
+	}
+	if *id == "" {
+		return fmt.Errorf("missing -id (see 'advhunter list')")
+	}
+	return run(*id, opts, os.Stdout)
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	scenario := fs.String("scenario", "S2", "scenario id (S1, S2, S3, CS)")
+	cache, quick, verbose := commonFlags(fs)
+	fs.Parse(args)
+	env, err := experiments.LoadEnv(*scenario, optionsFrom(*cache, *quick, *verbose))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario %s: %s × %s\n", env.Scn.ID, env.Scn.Dataset, env.Scn.Arch)
+	fmt.Printf("clean test accuracy: %.2f%%\n", 100*env.CleanAcc)
+	fmt.Printf("parameters: %d\n", env.Model.ParamCount())
+	return nil
+}
+
+func cmdAttack(args []string) error {
+	fs := flag.NewFlagSet("attack", flag.ExitOnError)
+	scenario := fs.String("scenario", "S2", "scenario id")
+	kind := fs.String("kind", "fgsm", "attack kind: fgsm, pgd, deepfool")
+	eps := fs.Float64("eps", 0.1, "attack strength (L∞); ignored by deepfool")
+	targeted := fs.Bool("targeted", false, "targeted variant (toward the scenario target class)")
+	n := fs.Int("n", 60, "number of source images")
+	cache, quick, verbose := commonFlags(fs)
+	fs.Parse(args)
+	env, err := experiments.LoadEnv(*scenario, optionsFrom(*cache, *quick, *verbose))
+	if err != nil {
+		return err
+	}
+	spec := experiments.AttackSpec{Kind: *kind, Eps: *eps, Targeted: *targeted}
+	ar, err := env.Attack(spec, *n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("attack: %s on %s\n", spec, *scenario)
+	fmt.Printf("success rate: %.2f%%   model accuracy under attack: %.2f%%\n",
+		100*ar.SuccessRate, 100*ar.ModelAccuracy)
+	fmt.Printf("successful adversarial examples measured: %d\n", len(ar.Meas))
+	return nil
+}
+
+func cmdScan(args []string) error {
+	fs := flag.NewFlagSet("scan", flag.ExitOnError)
+	scenario := fs.String("scenario", "S2", "scenario id")
+	n := fs.Int("n", 10, "number of test images to scan (clean + adversarial)")
+	eps := fs.Float64("eps", 0.5, "strength of the demonstration attack")
+	cache, quick, verbose := commonFlags(fs)
+	fs.Parse(args)
+	opts := optionsFrom(*cache, *quick, *verbose)
+	env, err := experiments.LoadEnv(*scenario, opts)
+	if err != nil {
+		return err
+	}
+	det, err := env.Detector()
+	if err != nil {
+		return err
+	}
+	pipe := &core.Pipeline{M: env.Meas, D: det}
+	cmIdx := det.EventIndex(hpc.CacheMisses)
+
+	fmt.Printf("scanning %d clean test images:\n", *n)
+	for i := 0; i < *n && i < len(env.DS.Test); i++ {
+		s := env.DS.Test[i]
+		res := pipe.Scan(s.X)
+		fmt.Printf("  image %2d (true %q): predicted %q, adversarial=%v\n",
+			i, data.ClassName(env.Scn.Dataset, s.Label),
+			data.ClassName(env.Scn.Dataset, res.PredictedClass), res.Flags[cmIdx])
+	}
+
+	spec := experiments.AttackSpec{Kind: "fgsm", Eps: *eps, Targeted: true}
+	ar, err := env.Attack(spec, *n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scanning %d adversarial images (%s):\n", len(ar.Meas), spec)
+	for i, m := range ar.Meas {
+		res := det.Detect(m.Pred, m.Counts)
+		fmt.Printf("  AE %2d (from %q): predicted %q, adversarial=%v\n",
+			i, data.ClassName(env.Scn.Dataset, m.TrueLabel),
+			data.ClassName(env.Scn.Dataset, m.Pred), res.Flags[cmIdx])
+	}
+	return nil
+}

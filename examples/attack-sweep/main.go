@@ -1,0 +1,92 @@
+// Attack sweep: how attack strength trades off against detectability.
+// For a grid of FGSM and PGD strengths the sweep reports the model's
+// accuracy under attack and AdvHunter's detection rate over the successful
+// adversarial examples — the tension the paper's Figure 4 visualises:
+// stronger attacks break the model harder but light up the side channel
+// brighter.
+//
+// Run with:
+//
+//	go run ./examples/attack-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"advhunter/internal/attack"
+	"advhunter/internal/core"
+	"advhunter/internal/data"
+	"advhunter/internal/engine"
+	"advhunter/internal/models"
+	"advhunter/internal/rng"
+	"advhunter/internal/train"
+	"advhunter/internal/uarch/hpc"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("training CIFAR10-like ResNet18…")
+	ds := data.MustSynth("cifar10", 11, 40, 12)
+	model := models.MustBuild("resnet18", ds.C, ds.H, ds.W, ds.Classes, 4)
+	cfg := train.DefaultConfig()
+	cfg.Epochs = 12
+	cfg.TargetAccuracy = 0.999
+	res := train.SGD(model, ds, cfg)
+	fmt.Printf("clean accuracy: %.1f%%\n\n", 100*res.TestAccuracy)
+
+	meas := core.NewMeasurer(engine.NewDefault(model), 13)
+	fmt.Println("offline phase: fitting per-category GMM templates…")
+	val := data.MustSynth("cifar10", 12, 50, 0).Train
+	tpl := core.BuildTemplate(meas, val, ds.Classes, hpc.CoreEvents())
+	det, err := core.Fit(tpl, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cm := det.EventIndex(hpc.CacheMisses)
+
+	var sources []data.Sample
+	for _, s := range ds.Test {
+		if model.Predict(s.X) == s.Label {
+			sources = append(sources, s)
+		}
+		if len(sources) == 40 {
+			break
+		}
+	}
+
+	fmt.Printf("\n%-22s %-18s %-14s %s\n", "attack", "model accuracy", "successful AEs", "detection rate")
+	for _, row := range []struct {
+		name string
+		atk  attack.Attack
+	}{
+		{"FGSM ε=0.05", attack.NewFGSM(0.05)},
+		{"FGSM ε=0.10", attack.NewFGSM(0.10)},
+		{"FGSM ε=0.20", attack.NewFGSM(0.20)},
+		{"PGD  ε=0.05", attack.NewPGD(0.05, rng.New(1))},
+		{"PGD  ε=0.10", attack.NewPGD(0.10, rng.New(2))},
+		{"PGD  ε=0.20", attack.NewPGD(0.20, rng.New(3))},
+	} {
+		crafted := attack.Craft(model, row.atk, sources)
+		advs := attack.Successful(row.atk, crafted)
+		caught := 0
+		for _, s := range advs {
+			pred, counts := meas.Measure(s.X)
+			if det.Detect(pred, counts).Flags[cm] {
+				caught++
+			}
+		}
+		rate := 0.0
+		if len(advs) > 0 {
+			rate = float64(caught) / float64(len(advs))
+		}
+		fmt.Printf("%-22s %-18s %-14d %.0f%% (%d/%d)\n",
+			row.name, fmt.Sprintf("%.1f%%", 100*crafted.ModelAccuracy), len(advs),
+			100*rate, caught, len(advs))
+	}
+	fmt.Println("\nStronger perturbations defeat the model more often and, for a given attack")
+	fmt.Println("family, deviate further from the benign data-flow template. Iterative attacks")
+	fmt.Println("(PGD) break the model with subtler data-flow changes than single-step FGSM —")
+	fmt.Println("the detector's hardest case.")
+}

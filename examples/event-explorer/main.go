@@ -1,0 +1,85 @@
+// Event explorer: which hardware events leak the data-flow side channel?
+// For every modelled HPC event the explorer prints clean-vs-adversarial
+// reading statistics and the per-event detection score — an interactive
+// version of the paper's Figures 3 and 5 in one table.
+//
+// Run with:
+//
+//	go run ./examples/event-explorer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"advhunter/internal/attack"
+	"advhunter/internal/core"
+	"advhunter/internal/data"
+	"advhunter/internal/engine"
+	"advhunter/internal/metrics"
+	"advhunter/internal/models"
+	"advhunter/internal/rng"
+	"advhunter/internal/train"
+	"advhunter/internal/uarch/hpc"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("training FashionMNIST-like EfficientNet…")
+	ds := data.MustSynth("fashionmnist", 33, 40, 15)
+	model := models.MustBuild("efficientnet", ds.C, ds.H, ds.W, ds.Classes, 8)
+	cfg := train.DefaultConfig()
+	cfg.Epochs = 10
+	cfg.TargetAccuracy = 0.999
+	train.SGD(model, ds, cfg)
+
+	meas := core.NewMeasurer(engine.NewDefault(model), 21)
+	val := data.MustSynth("fashionmnist", 34, 50, 0).Train
+	tpl := core.BuildTemplate(meas, val, ds.Classes, hpc.AllEvents())
+	det, err := core.Fit(tpl, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const target = 6 // shirt
+	atk := attack.NewTargetedPGD(0.4, target, rng.New(3))
+	var sources []data.Sample
+	for _, s := range ds.Test {
+		if s.Label != target && len(sources) < 50 {
+			sources = append(sources, s)
+		}
+	}
+	advs := attack.Successful(atk, attack.Craft(model, atk, sources))
+	if len(advs) == 0 {
+		log.Fatal("the attack produced no successful adversarial examples; nothing to explore")
+	}
+	var cleanSamples []data.Sample
+	for _, s := range ds.Test {
+		if s.Label == target {
+			cleanSamples = append(cleanSamples, s)
+		}
+	}
+	clean := core.MeasureSet(meas, cleanSamples)
+	adv := core.MeasureSet(meas, advs)
+
+	fmt.Printf("\nworkload: %d clean %q images vs %d targeted-PGD AEs\n\n",
+		len(clean), data.ClassName("fashionmnist", target), len(adv))
+	fmt.Printf("%-22s %16s %16s %8s %8s\n", "event", "clean mean±std", "AE mean±std", "overlap", "F1")
+	for _, e := range hpc.AllEvents() {
+		var cv, av []float64
+		for _, m := range clean {
+			cv = append(cv, m.Counts.Get(e))
+		}
+		for _, m := range adv {
+			av = append(av, m.Counts.Get(e))
+		}
+		cs, as := metrics.Summarize(cv), metrics.Summarize(av)
+		conf := core.EvaluateEvent(det, e, clean, adv)
+		fmt.Printf("%-22s %9.0f±%-6.0f %9.0f±%-6.0f %8.3f %8.3f\n",
+			e, cs.Mean, cs.Std, as.Mean, as.Std,
+			metrics.OverlapCoefficient(cv, av, 24), conf.F1())
+	}
+	fmt.Println("\nThe instruction-side events read the same for both input types — the executed")
+	fmt.Println("program is identical. Only the data-flow events expose the adversarial inputs.")
+}

@@ -1,0 +1,111 @@
+// MLaaS monitor: AdvHunter deployed as a guard in front of a simulated
+// cloud inference service. A stream of queries arrives — mostly legitimate,
+// with bursts of adversarial probing — and the monitor decides per query,
+// from the hard label and the HPC reading of that inference, whether to
+// raise an alert. This is the deployment the paper motivates: no model
+// internals, no confidence scores, no physical access — just counters.
+//
+// Run with:
+//
+//	go run ./examples/mlaas-monitor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"advhunter/internal/attack"
+	"advhunter/internal/core"
+	"advhunter/internal/data"
+	"advhunter/internal/engine"
+	"advhunter/internal/metrics"
+	"advhunter/internal/models"
+	"advhunter/internal/rng"
+	"advhunter/internal/train"
+	"advhunter/internal/uarch/hpc"
+)
+
+// query is one inference request entering the service.
+type query struct {
+	sample      data.Sample
+	adversarial bool
+}
+
+func main() {
+	log.SetFlags(0)
+
+	// Service setup: an image-classification endpoint (CIFAR10-like ResNet).
+	fmt.Println("bootstrapping service: training the classification model…")
+	ds := data.MustSynth("cifar10", 9, 40, 12)
+	model := models.MustBuild("resnet18", ds.C, ds.H, ds.W, ds.Classes, 3)
+	cfg := train.DefaultConfig()
+	cfg.Epochs = 12
+	cfg.TargetAccuracy = 0.999
+	res := train.SGD(model, ds, cfg)
+	fmt.Printf("model ready (%.1f%% clean accuracy)\n", 100*res.TestAccuracy)
+
+	// Guard setup: offline phase on clean validation traffic.
+	meas := core.NewMeasurer(engine.NewDefault(model), 77)
+	fmt.Println("guard: measuring clean validation traffic (offline phase)…")
+	val := data.MustSynth("cifar10", 10, 60, 0).Train
+	tpl := core.BuildTemplate(meas, val, ds.Classes, hpc.CoreEvents())
+	det, err := core.Fit(tpl, core.DefaultConfig())
+	if err != nil {
+		log.Fatalf("guard: %v", err)
+	}
+	pipe := &core.Pipeline{M: meas, D: det}
+	cm := det.EventIndex(hpc.CacheMisses)
+
+	// The attacker probes the service with images steered toward 'frog'.
+	const target = 6 // "frog"
+	fmt.Printf("adversary: preparing targeted FGSM examples toward %q…\n\n",
+		data.ClassName("cifar10", target))
+	atk := attack.NewTargetedFGSM(0.5, target)
+	var sources []data.Sample
+	for _, s := range ds.Test {
+		if s.Label != target && len(sources) < 80 {
+			sources = append(sources, s)
+		}
+	}
+	advs := attack.Successful(atk, attack.Craft(model, atk, sources))
+
+	// Build the query stream: legitimate traffic with adversarial bursts.
+	r := rng.New(2024)
+	var stream []query
+	for _, s := range ds.Test {
+		stream = append(stream, query{sample: s})
+	}
+	for _, s := range advs {
+		stream = append(stream, query{sample: s, adversarial: true})
+	}
+	r.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+	if len(stream) > 150 {
+		stream = stream[:150]
+	}
+
+	// Serve.
+	fmt.Printf("serving %d queries…\n", len(stream))
+	var conf metrics.Confusion
+	alerts := 0
+	for i, q := range stream {
+		res := pipe.Scan(q.sample.X)
+		flagged := res.Flags[cm]
+		conf.Add(q.adversarial, flagged)
+		if flagged {
+			alerts++
+			kind := "FALSE ALARM"
+			if q.adversarial {
+				kind = "ATTACK CAUGHT"
+			}
+			fmt.Printf("  query %3d: predicted %-28q  ⚠ ALERT (%s)\n",
+				i, data.ClassName("cifar10", res.PredictedClass), kind)
+		}
+	}
+
+	fmt.Printf("\nshift report: %d alerts over %d queries\n", alerts, len(stream))
+	fmt.Printf("  adversarial queries: %d (caught %d, missed %d)\n",
+		conf.TP+conf.FN, conf.TP, conf.FN)
+	fmt.Printf("  legitimate queries:  %d (false alarms %d)\n", conf.TN+conf.FP, conf.FP)
+	fmt.Printf("  precision %.2f  recall %.2f  F1 %.3f\n",
+		conf.Precision(), conf.Recall(), conf.F1())
+}

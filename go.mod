@@ -1,0 +1,3 @@
+module advhunter
+
+go 1.22

@@ -1,0 +1,126 @@
+package attack
+
+import (
+	"fmt"
+
+	"advhunter/internal/models"
+	"advhunter/internal/nn"
+	"advhunter/internal/tensor"
+)
+
+// AdaptivePGD is an attacker that knows AdvHunter is watching. Besides
+// steering the classifier toward the target class, each step also pulls the
+// network's penultimate feature vector toward the *typical clean feature* of
+// that class, trying to reproduce the data-flow pattern the detector's
+// template considers benign. Lambda trades attack strength against stealth;
+// the adaptive-attacker experiment sweeps it to chart the detector's limits.
+//
+// This goes beyond the paper, which assumes a detector-oblivious adversary.
+type AdaptivePGD struct {
+	Eps, Alpha float64
+	Steps      int
+	Target     int
+	// Lambda weights the feature-matching (stealth) term against the
+	// cross-entropy (attack) term.
+	Lambda float64
+
+	model    *models.Model
+	features *nn.Sequential // all layers except the classification head
+	head     nn.Layer
+	// refFeature is the mean penultimate feature of clean target exemplars.
+	refFeature *tensor.Tensor
+}
+
+// NewAdaptivePGD builds the attacker. exemplars are clean images of the
+// target class whose mean feature defines "typical" data flow.
+func NewAdaptivePGD(m *models.Model, eps float64, target int, lambda float64, exemplars []*tensor.Tensor) (*AdaptivePGD, error) {
+	n := len(m.Net.Layers)
+	if n < 2 {
+		return nil, fmt.Errorf("attack: model too shallow for feature matching")
+	}
+	if len(exemplars) == 0 {
+		return nil, fmt.Errorf("attack: adaptive attack needs target-class exemplars")
+	}
+	a := &AdaptivePGD{
+		Eps: eps, Alpha: eps / 8, Steps: 20, Target: target, Lambda: lambda,
+		model:    m,
+		features: nn.NewSequential("features", m.Net.Layers[:n-1]...),
+		head:     m.Net.Layers[n-1],
+	}
+	// Mean clean feature of the target class.
+	var acc *tensor.Tensor
+	for _, x := range exemplars {
+		f := a.features.Forward(a.batch(x), false)
+		if acc == nil {
+			acc = f.Clone()
+		} else {
+			acc.AddInPlace(f)
+		}
+	}
+	acc.ScaleInPlace(1 / float64(len(exemplars)))
+	a.refFeature = acc
+	return a, nil
+}
+
+// batch views an image as a single-sample batch.
+func (a *AdaptivePGD) batch(x *tensor.Tensor) *tensor.Tensor {
+	meta := a.model.Meta
+	return x.Reshape(1, meta.InC, meta.InH, meta.InW)
+}
+
+// Name identifies the attack.
+func (a *AdaptivePGD) Name() string {
+	return fmt.Sprintf("adaptive-pgd(eps=%g,lambda=%g)", a.Eps, a.Lambda)
+}
+
+// Targeted reports true; the adaptive attack always has a target.
+func (a *AdaptivePGD) Targeted() bool { return true }
+
+// TargetClass returns the target class.
+func (a *AdaptivePGD) TargetClass() int { return a.Target }
+
+// Perturb runs the two-term projected descent.
+func (a *AdaptivePGD) Perturb(m *models.Model, x *tensor.Tensor, trueLabel int) *tensor.Tensor {
+	adv := x.Clone()
+	for s := 0; s < a.Steps; s++ {
+		// Attack term: descend CE toward the target through the full net.
+		gAtk := lossGradient(m, asBatch(adv), a.Target)
+
+		// Stealth term: descend ‖f(x) − f_ref‖² through the feature stack.
+		feat := a.features.Forward(a.batch(adv), false)
+		diff := tensor.Sub(feat, a.refFeature)
+		gStealth := a.features.Backward(tensor.Scale(diff, 2))
+
+		// Combined signed step (both terms are minimised).
+		combined := gAtk.Reshape(adv.Shape()...).Clone()
+		combined.AXPYInPlace(a.Lambda, gStealth.Reshape(adv.Shape()...))
+		step := signInPlace(combined)
+		adv.AXPYInPlace(-a.Alpha, step)
+
+		// Project into the ε-ball ∩ [0,1].
+		ad, xd := adv.Data(), x.Data()
+		for i := range ad {
+			lo, hi := xd[i]-a.Eps, xd[i]+a.Eps
+			v := ad[i]
+			if v < lo {
+				v = lo
+			} else if v > hi {
+				v = hi
+			}
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			ad[i] = v
+		}
+	}
+	return adv
+}
+
+// FeatureDistance reports ‖f(x) − f_ref‖, the attacker's stealth objective;
+// exposed for analysis.
+func (a *AdaptivePGD) FeatureDistance(x *tensor.Tensor) float64 {
+	f := a.features.Forward(a.batch(x), false)
+	return tensor.Sub(f, a.refFeature).L2Norm()
+}

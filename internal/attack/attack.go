@@ -1,0 +1,351 @@
+// Package attack implements the three white-box adversarial-example crafting
+// strategies the paper evaluates — FGSM and PGD under the L∞ norm and
+// DeepFool under the L2 norm — each in untargeted and targeted variants.
+// The adversary matches the paper's threat model: full access to the model
+// and its gradients (internal/nn backward passes through the inference-mode
+// network), producing inputs clipped to the valid pixel range [0, 1].
+package attack
+
+import (
+	"fmt"
+	"math"
+
+	"advhunter/internal/data"
+	"advhunter/internal/models"
+	"advhunter/internal/nn"
+	"advhunter/internal/rng"
+	"advhunter/internal/tensor"
+)
+
+// Attack perturbs a single image [C,H,W] given its true label, returning the
+// adversarial image (a new tensor; the input is not modified).
+type Attack interface {
+	Name() string
+	// Targeted reports whether the attack drives inputs toward a specific
+	// class rather than merely away from the true one.
+	Targeted() bool
+	// TargetClass returns the target class for targeted attacks (undefined
+	// for untargeted ones).
+	TargetClass() int
+	Perturb(m *models.Model, x *tensor.Tensor, trueLabel int) *tensor.Tensor
+}
+
+// lossGradient returns ∇ₓ CE(f(x), class) through the inference-mode network
+// for a single image batch x of shape [1,C,H,W].
+func lossGradient(m *models.Model, x *tensor.Tensor, class int) *tensor.Tensor {
+	logits := m.Net.Forward(x, false)
+	_, g := nn.SoftmaxCrossEntropy(logits, []int{class})
+	return m.Net.Backward(g)
+}
+
+// logitDiffGradient returns ∇ₓ (f_a(x) − f_b(x)) and the current logit
+// difference, through the inference-mode network.
+func logitDiffGradient(m *models.Model, x *tensor.Tensor, a, b int) (*tensor.Tensor, float64) {
+	logits := m.Net.Forward(x, false)
+	seed := tensor.New(logits.Shape()...)
+	seed.Set(1, 0, a)
+	seed.Set(-1, 0, b)
+	return m.Net.Backward(seed), logits.At(0, a) - logits.At(0, b)
+}
+
+// asBatch views a [C,H,W] image as a [1,C,H,W] batch (shared storage).
+func asBatch(x *tensor.Tensor) *tensor.Tensor {
+	return x.Reshape(1, x.Dim(0), x.Dim(1), x.Dim(2))
+}
+
+// signInPlace replaces every element with its sign.
+func signInPlace(t *tensor.Tensor) *tensor.Tensor {
+	return t.Apply(func(v float64) float64 {
+		switch {
+		case v > 0:
+			return 1
+		case v < 0:
+			return -1
+		default:
+			return 0
+		}
+	})
+}
+
+// FGSM is the Fast Gradient Sign Method (Goodfellow et al., ICLR'15): a
+// single L∞ step of size Eps along (or against, when targeted) the loss
+// gradient sign.
+type FGSM struct {
+	Eps    float64
+	Target int // targeted when >= 0
+}
+
+// NewFGSM returns an untargeted FGSM attack of strength eps.
+func NewFGSM(eps float64) *FGSM { return &FGSM{Eps: eps, Target: -1} }
+
+// NewTargetedFGSM returns a targeted FGSM attack of strength eps.
+func NewTargetedFGSM(eps float64, target int) *FGSM { return &FGSM{Eps: eps, Target: target} }
+
+// Name identifies the attack and its strength.
+func (a *FGSM) Name() string { return fmt.Sprintf("fgsm(eps=%g,targeted=%v)", a.Eps, a.Targeted()) }
+
+// Targeted reports whether a target class is set.
+func (a *FGSM) Targeted() bool { return a.Target >= 0 }
+
+// TargetClass returns the configured target class.
+func (a *FGSM) TargetClass() int { return a.Target }
+
+// Perturb applies the single FGSM step.
+func (a *FGSM) Perturb(m *models.Model, x *tensor.Tensor, trueLabel int) *tensor.Tensor {
+	adv := x.Clone()
+	batch := asBatch(adv)
+	if a.Targeted() {
+		// Descend the loss toward the target class.
+		g := signInPlace(lossGradient(m, batch, a.Target))
+		adv.AXPYInPlace(-a.Eps, g.Reshape(adv.Shape()...))
+	} else {
+		// Ascend the loss away from the true class.
+		g := signInPlace(lossGradient(m, batch, trueLabel))
+		adv.AXPYInPlace(a.Eps, g.Reshape(adv.Shape()...))
+	}
+	return adv.ClampInPlace(0, 1)
+}
+
+// PGD is projected gradient descent (the iterated FGSM of Madry et al., with
+// the momentum-free formulation the paper cites): Steps steps of size Alpha,
+// each projected back into the Eps L∞-ball around the original image, with
+// an optional random start.
+type PGD struct {
+	Eps, Alpha float64
+	Steps      int
+	Target     int // targeted when >= 0
+	// Rand enables a uniform random start inside the Eps-ball when non-nil.
+	Rand *rng.Rand
+}
+
+// NewPGD returns an untargeted PGD attack (alpha = eps/4, 10 steps).
+func NewPGD(eps float64, r *rng.Rand) *PGD {
+	return &PGD{Eps: eps, Alpha: eps / 4, Steps: 10, Target: -1, Rand: r}
+}
+
+// NewTargetedPGD returns a targeted PGD attack (alpha = eps/4, 10 steps).
+func NewTargetedPGD(eps float64, target int, r *rng.Rand) *PGD {
+	return &PGD{Eps: eps, Alpha: eps / 4, Steps: 10, Target: target, Rand: r}
+}
+
+// Name identifies the attack and its strength.
+func (a *PGD) Name() string { return fmt.Sprintf("pgd(eps=%g,targeted=%v)", a.Eps, a.Targeted()) }
+
+// Targeted reports whether a target class is set.
+func (a *PGD) Targeted() bool { return a.Target >= 0 }
+
+// TargetClass returns the configured target class.
+func (a *PGD) TargetClass() int { return a.Target }
+
+// Perturb runs the projected iteration.
+func (a *PGD) Perturb(m *models.Model, x *tensor.Tensor, trueLabel int) *tensor.Tensor {
+	adv := x.Clone()
+	if a.Rand != nil {
+		for i, v := range adv.Data() {
+			adv.Data()[i] = v + a.Eps*(2*a.Rand.Float64()-1)
+		}
+		a.project(adv, x)
+	}
+	for s := 0; s < a.Steps; s++ {
+		batch := asBatch(adv)
+		if a.Targeted() {
+			g := signInPlace(lossGradient(m, batch, a.Target))
+			adv.AXPYInPlace(-a.Alpha, g.Reshape(adv.Shape()...))
+		} else {
+			g := signInPlace(lossGradient(m, batch, trueLabel))
+			adv.AXPYInPlace(a.Alpha, g.Reshape(adv.Shape()...))
+		}
+		a.project(adv, x)
+	}
+	return adv
+}
+
+// project clips adv into the Eps-ball around x intersected with [0,1].
+func (a *PGD) project(adv, x *tensor.Tensor) {
+	ad, xd := adv.Data(), x.Data()
+	for i := range ad {
+		lo, hi := xd[i]-a.Eps, xd[i]+a.Eps
+		v := ad[i]
+		if v < lo {
+			v = lo
+		} else if v > hi {
+			v = hi
+		}
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		ad[i] = v
+	}
+}
+
+// DeepFool (Moosavi-Dezfooli et al., CVPR'16) takes minimal L2 steps toward
+// the nearest (or the target's) decision boundary, linearising the
+// classifier at each iterate and overshooting slightly to cross it.
+type DeepFool struct {
+	MaxIter   int
+	Overshoot float64
+	Target    int // targeted when >= 0
+	// TopK bounds how many candidate classes are linearised per iteration
+	// in the untargeted variant (0 means all classes).
+	TopK int
+}
+
+// NewDeepFool returns the untargeted attack with the original paper's
+// default parameters (50 iterations, 0.02 overshoot, top-10 classes).
+func NewDeepFool() *DeepFool { return &DeepFool{MaxIter: 50, Overshoot: 0.02, Target: -1, TopK: 10} }
+
+// NewTargetedDeepFool returns the targeted variant, which walks toward the
+// target class's boundary only.
+func NewTargetedDeepFool(target int) *DeepFool {
+	return &DeepFool{MaxIter: 50, Overshoot: 0.02, Target: target}
+}
+
+// Name identifies the attack.
+func (a *DeepFool) Name() string { return fmt.Sprintf("deepfool(targeted=%v)", a.Targeted()) }
+
+// Targeted reports whether a target class is set.
+func (a *DeepFool) Targeted() bool { return a.Target >= 0 }
+
+// TargetClass returns the configured target class.
+func (a *DeepFool) TargetClass() int { return a.Target }
+
+// Perturb runs the iterative linearised-boundary walk.
+func (a *DeepFool) Perturb(m *models.Model, x *tensor.Tensor, trueLabel int) *tensor.Tensor {
+	adv := x.Clone()
+	orig := m.Predict(adv)
+	totalPert := tensor.New(x.Shape()...)
+	for iter := 0; iter < a.MaxIter; iter++ {
+		cur := m.Predict(adv)
+		if a.Targeted() {
+			if cur == a.Target {
+				break
+			}
+		} else if cur != orig {
+			break
+		}
+		var step *tensor.Tensor
+		if a.Targeted() {
+			g, diff := logitDiffGradient(m, asBatch(adv), a.Target, cur)
+			// Move along +g until f_target − f_cur crosses zero.
+			norm2 := g.L2Norm()
+			if norm2 < 1e-12 {
+				break
+			}
+			scale := (math.Abs(diff) + 1e-6) / (norm2 * norm2)
+			step = tensor.Scale(g.Reshape(adv.Shape()...), scale)
+		} else {
+			step = a.nearestBoundaryStep(m, adv, cur)
+			if step == nil {
+				break
+			}
+		}
+		totalPert.AddInPlace(step)
+		adv = x.Clone().AXPYInPlace(1+a.Overshoot, totalPert).ClampInPlace(0, 1)
+	}
+	return adv
+}
+
+// nearestBoundaryStep linearises every candidate class boundary and returns
+// the minimal step that crosses the closest one.
+func (a *DeepFool) nearestBoundaryStep(m *models.Model, adv *tensor.Tensor, cur int) *tensor.Tensor {
+	logits := m.Logits(asBatch(adv))
+	classes := logits.Dim(1)
+	// Candidate classes by descending logit (excluding the current one).
+	type cand struct {
+		class int
+		logit float64
+	}
+	cands := make([]cand, 0, classes-1)
+	for k := 0; k < classes; k++ {
+		if k != cur {
+			cands = append(cands, cand{k, logits.At(0, k)})
+		}
+	}
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].logit > cands[i].logit {
+				cands[i], cands[j] = cands[j], cands[i]
+			}
+		}
+	}
+	if a.TopK > 0 && len(cands) > a.TopK {
+		cands = cands[:a.TopK]
+	}
+	bestDist := math.Inf(1)
+	var bestStep *tensor.Tensor
+	for _, c := range cands {
+		g, diff := logitDiffGradient(m, asBatch(adv), c.class, cur) // diff = f_k − f_cur < 0
+		norm := g.L2Norm()
+		if norm < 1e-12 {
+			continue
+		}
+		dist := math.Abs(diff) / norm
+		if dist < bestDist {
+			bestDist = dist
+			scale := (math.Abs(diff) + 1e-6) / (norm * norm)
+			bestStep = tensor.Scale(g.Reshape(adv.Shape()...), scale)
+		}
+	}
+	return bestStep
+}
+
+// CraftResult summarises an attack over a sample set.
+type CraftResult struct {
+	// AEs holds the perturbed images; Label keeps the original true label.
+	AEs []data.Sample
+	// Preds is the model's prediction for each adversarial image.
+	Preds []int
+	// SuccessRate is the fraction of images for which the attack achieved
+	// its goal (misclassification, or classification as the target).
+	SuccessRate float64
+	// ModelAccuracy is the model's accuracy on the perturbed images with
+	// respect to the true labels — the "accuracy under attack" series of
+	// the paper's Figure 4.
+	ModelAccuracy float64
+}
+
+// Craft applies the attack to every sample and scores the outcome.
+func Craft(m *models.Model, atk Attack, samples []data.Sample) CraftResult {
+	res := CraftResult{}
+	succ, correct := 0, 0
+	for _, s := range samples {
+		adv := atk.Perturb(m, s.X, s.Label)
+		pred := m.Predict(adv)
+		res.AEs = append(res.AEs, data.Sample{X: adv, Label: s.Label})
+		res.Preds = append(res.Preds, pred)
+		if atk.Targeted() {
+			if pred == atk.TargetClass() {
+				succ++
+			}
+		} else if pred != s.Label {
+			succ++
+		}
+		if pred == s.Label {
+			correct++
+		}
+	}
+	n := float64(len(samples))
+	if n > 0 {
+		res.SuccessRate = float64(succ) / n
+		res.ModelAccuracy = float64(correct) / n
+	}
+	return res
+}
+
+// Successful filters a craft result down to the adversarial images that
+// achieved the attack goal — the inputs AdvHunter must flag.
+func Successful(atk Attack, res CraftResult) []data.Sample {
+	var out []data.Sample
+	for i, s := range res.AEs {
+		if atk.Targeted() {
+			if res.Preds[i] == atk.TargetClass() {
+				out = append(out, s)
+			}
+		} else if res.Preds[i] != s.Label {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package attack
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"advhunter/internal/data"
+	"advhunter/internal/models"
+	"advhunter/internal/rng"
+	"advhunter/internal/tensor"
+	"advhunter/internal/train"
+)
+
+// fixture trains one small model once and shares it across tests.
+type fixture struct {
+	ds  *data.Dataset
+	m   *models.Model
+	acc float64
+}
+
+var (
+	fixOnce sync.Once
+	fix     fixture
+)
+
+func getFixture(t *testing.T) fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		ds := data.MustSynth("fashionmnist", 21, 40, 8)
+		m := models.MustBuild("simplecnn", ds.C, ds.H, ds.W, ds.Classes, 9)
+		cfg := train.DefaultConfig()
+		cfg.Epochs = 15
+		cfg.LearningRate = 0.02
+		cfg.TargetAccuracy = 0.95
+		res := train.SGD(m, ds, cfg)
+		fix = fixture{ds: ds, m: m, acc: res.TestAccuracy}
+	})
+	if fix.acc < 0.85 {
+		t.Fatalf("fixture model failed to train (accuracy %.2f)", fix.acc)
+	}
+	return fix
+}
+
+func TestFGSMRespectsLinfBound(t *testing.T) {
+	f := getFixture(t)
+	err := quick.Check(func(seed uint64, epsRaw uint8) bool {
+		eps := 0.01 + float64(epsRaw%50)/100
+		s := f.ds.Test[int(seed%uint64(len(f.ds.Test)))]
+		adv := NewFGSM(eps).Perturb(f.m, s.X, s.Label)
+		diff := tensor.Sub(adv, s.X)
+		return diff.LinfNorm() <= eps+1e-12 && adv.Min() >= 0 && adv.Max() <= 1
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFGSMZeroEpsIsIdentity(t *testing.T) {
+	f := getFixture(t)
+	s := f.ds.Test[0]
+	adv := NewFGSM(0).Perturb(f.m, s.X, s.Label)
+	if !tensor.Equal(adv, s.X, 0) {
+		t.Fatal("eps=0 FGSM changed the image")
+	}
+}
+
+func TestFGSMDoesNotMutateInput(t *testing.T) {
+	f := getFixture(t)
+	s := f.ds.Test[1]
+	before := s.X.Clone()
+	_ = NewFGSM(0.2).Perturb(f.m, s.X, s.Label)
+	if !tensor.Equal(before, s.X, 0) {
+		t.Fatal("attack mutated the original image")
+	}
+}
+
+func TestUntargetedFGSMDegradesAccuracy(t *testing.T) {
+	f := getFixture(t)
+	samples := f.ds.Test[:40]
+	clean := train.Evaluate(f.m, samples)
+	res := Craft(f.m, NewFGSM(0.15), samples)
+	if res.ModelAccuracy >= clean {
+		t.Fatalf("FGSM did not reduce accuracy: clean %.2f vs attacked %.2f", clean, res.ModelAccuracy)
+	}
+	if res.SuccessRate < 0.3 {
+		t.Fatalf("FGSM success rate only %.2f", res.SuccessRate)
+	}
+}
+
+func TestTargetedFGSMHitsTarget(t *testing.T) {
+	f := getFixture(t)
+	const target = 6 // 'shirt'
+	var samples []data.Sample
+	for _, s := range f.ds.Test {
+		if s.Label != target {
+			samples = append(samples, s)
+		}
+		if len(samples) == 30 {
+			break
+		}
+	}
+	res := Craft(f.m, NewTargetedFGSM(0.5, target), samples)
+	if res.SuccessRate < 0.4 {
+		t.Fatalf("targeted FGSM (eps=0.5) success only %.2f", res.SuccessRate)
+	}
+	for i, s := range Successful(NewTargetedFGSM(0.5, target), res) {
+		if got := f.m.Predict(s.X); got != target {
+			t.Fatalf("successful AE %d predicts %d, want %d", i, got, target)
+		}
+	}
+}
+
+func TestPGDStaysInBall(t *testing.T) {
+	f := getFixture(t)
+	err := quick.Check(func(seed uint64) bool {
+		eps := 0.1
+		s := f.ds.Test[int(seed%uint64(len(f.ds.Test)))]
+		atk := NewPGD(eps, rng.New(seed))
+		adv := atk.Perturb(f.m, s.X, s.Label)
+		diff := tensor.Sub(adv, s.X)
+		return diff.LinfNorm() <= eps+1e-12 && adv.Min() >= 0 && adv.Max() <= 1
+	}, &quick.Config{MaxCount: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPGDAtLeastAsStrongAsFGSM(t *testing.T) {
+	f := getFixture(t)
+	samples := f.ds.Test[:30]
+	eps := 0.1
+	fgsm := Craft(f.m, NewFGSM(eps), samples)
+	pgd := Craft(f.m, NewPGD(eps, rng.New(5)), samples)
+	if pgd.SuccessRate+0.15 < fgsm.SuccessRate {
+		t.Fatalf("PGD (%.2f) much weaker than FGSM (%.2f)", pgd.SuccessRate, fgsm.SuccessRate)
+	}
+}
+
+func TestTargetedPGD(t *testing.T) {
+	f := getFixture(t)
+	const target = 3
+	var samples []data.Sample
+	for _, s := range f.ds.Test {
+		if s.Label != target {
+			samples = append(samples, s)
+		}
+		if len(samples) == 20 {
+			break
+		}
+	}
+	res := Craft(f.m, NewTargetedPGD(0.3, target, rng.New(6)), samples)
+	if res.SuccessRate < 0.4 {
+		t.Fatalf("targeted PGD success only %.2f", res.SuccessRate)
+	}
+}
+
+func TestDeepFoolFlipsWithSmallPerturbation(t *testing.T) {
+	f := getFixture(t)
+	samples := f.ds.Test[:15]
+	res := Craft(f.m, NewDeepFool(), samples)
+	if res.SuccessRate < 0.6 {
+		t.Fatalf("DeepFool success only %.2f", res.SuccessRate)
+	}
+	// DeepFool's perturbations must be small in L2 relative to the images.
+	var pertNorm, imgNorm float64
+	for i, s := range samples {
+		pertNorm += tensor.Sub(res.AEs[i].X, s.X).L2Norm()
+		imgNorm += s.X.L2Norm()
+	}
+	if ratio := pertNorm / imgNorm; ratio > 0.5 {
+		t.Fatalf("DeepFool perturbation ratio %.2f too large", ratio)
+	}
+}
+
+func TestTargetedDeepFool(t *testing.T) {
+	f := getFixture(t)
+	const target = 8
+	var samples []data.Sample
+	for _, s := range f.ds.Test {
+		if s.Label != target {
+			samples = append(samples, s)
+		}
+		if len(samples) == 10 {
+			break
+		}
+	}
+	res := Craft(f.m, NewTargetedDeepFool(target), samples)
+	if res.SuccessRate < 0.4 {
+		t.Fatalf("targeted DeepFool success only %.2f", res.SuccessRate)
+	}
+}
+
+func TestCraftAccounting(t *testing.T) {
+	f := getFixture(t)
+	samples := f.ds.Test[:20]
+	atk := NewFGSM(0.1)
+	res := Craft(f.m, atk, samples)
+	if len(res.AEs) != len(samples) || len(res.Preds) != len(samples) {
+		t.Fatal("craft result sizes")
+	}
+	succ, correct := 0, 0
+	for i := range samples {
+		if res.Preds[i] != samples[i].Label {
+			succ++
+		} else {
+			correct++
+		}
+	}
+	if math.Abs(res.SuccessRate-float64(succ)/20) > 1e-12 {
+		t.Fatal("success rate accounting")
+	}
+	if math.Abs(res.ModelAccuracy-float64(correct)/20) > 1e-12 {
+		t.Fatal("accuracy accounting")
+	}
+	if len(Successful(atk, res)) != succ {
+		t.Fatal("Successful filter accounting")
+	}
+}
+
+func TestAttackMetadata(t *testing.T) {
+	if NewFGSM(0.1).Targeted() || !NewTargetedFGSM(0.1, 2).Targeted() {
+		t.Fatal("FGSM targeted flags")
+	}
+	if NewTargetedPGD(0.1, 3, nil).TargetClass() != 3 {
+		t.Fatal("PGD target class")
+	}
+	if NewDeepFool().Targeted() || NewTargetedDeepFool(1).TargetClass() != 1 {
+		t.Fatal("DeepFool metadata")
+	}
+}

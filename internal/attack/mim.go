@@ -1,0 +1,117 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+
+	"advhunter/internal/models"
+	"advhunter/internal/rng"
+	"advhunter/internal/tensor"
+)
+
+// MIM is the Momentum Iterative Method (MI-FGSM, Dong et al., CVPR'18 —
+// the iterative attack the paper cites alongside FGSM): PGD-style steps
+// whose direction is a decayed accumulation of normalised gradients, which
+// stabilises the update and improves transferability.
+type MIM struct {
+	Eps, Alpha float64
+	Steps      int
+	// Decay is the momentum factor μ (1.0 in the original paper).
+	Decay  float64
+	Target int // targeted when >= 0
+}
+
+// NewMIM returns the untargeted momentum attack with the original paper's
+// defaults (10 steps, μ=1, α=ε/steps).
+func NewMIM(eps float64) *MIM {
+	return &MIM{Eps: eps, Alpha: eps / 10, Steps: 10, Decay: 1.0, Target: -1}
+}
+
+// NewTargetedMIM returns the targeted momentum attack.
+func NewTargetedMIM(eps float64, target int) *MIM {
+	return &MIM{Eps: eps, Alpha: eps / 10, Steps: 10, Decay: 1.0, Target: target}
+}
+
+// Name identifies the attack and its strength.
+func (a *MIM) Name() string { return fmt.Sprintf("mim(eps=%g,targeted=%v)", a.Eps, a.Targeted()) }
+
+// Targeted reports whether a target class is set.
+func (a *MIM) Targeted() bool { return a.Target >= 0 }
+
+// TargetClass returns the configured target class.
+func (a *MIM) TargetClass() int { return a.Target }
+
+// Perturb runs the momentum iteration.
+func (a *MIM) Perturb(m *models.Model, x *tensor.Tensor, trueLabel int) *tensor.Tensor {
+	adv := x.Clone()
+	velocity := tensor.New(x.Shape()...)
+	for s := 0; s < a.Steps; s++ {
+		var g *tensor.Tensor
+		if a.Targeted() {
+			g = lossGradient(m, asBatch(adv), a.Target).ScaleInPlace(-1)
+		} else {
+			g = lossGradient(m, asBatch(adv), trueLabel)
+		}
+		// Normalise by L1 norm, accumulate with decay.
+		l1 := 0.0
+		for _, v := range g.Data() {
+			l1 += math.Abs(v)
+		}
+		if l1 < 1e-12 {
+			break
+		}
+		velocity.ScaleInPlace(a.Decay).AXPYInPlace(1/l1, g.Reshape(adv.Shape()...))
+		step := signInPlace(velocity.Clone())
+		adv.AXPYInPlace(a.Alpha, step)
+		// Project into the ε-ball ∩ [0,1].
+		ad, xd := adv.Data(), x.Data()
+		for i := range ad {
+			lo, hi := xd[i]-a.Eps, xd[i]+a.Eps
+			v := ad[i]
+			if v < lo {
+				v = lo
+			} else if v > hi {
+				v = hi
+			}
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			ad[i] = v
+		}
+	}
+	return adv
+}
+
+// RandomNoise is a *control*, not an attack: it perturbs the image with
+// uniform ±Eps noise and no gradient information. A sound detector must NOT
+// flag such inputs at a high rate — they are merely noisy, not adversarial —
+// and the attack itself should rarely change the prediction.
+type RandomNoise struct {
+	Eps  float64
+	Rand *rng.Rand
+}
+
+// NewRandomNoise builds the control perturbation.
+func NewRandomNoise(eps float64, r *rng.Rand) *RandomNoise {
+	return &RandomNoise{Eps: eps, Rand: r}
+}
+
+// Name identifies the control.
+func (a *RandomNoise) Name() string { return fmt.Sprintf("random-noise(eps=%g)", a.Eps) }
+
+// Targeted reports false; noise has no goal.
+func (a *RandomNoise) Targeted() bool { return false }
+
+// TargetClass returns -1.
+func (a *RandomNoise) TargetClass() int { return -1 }
+
+// Perturb adds the bounded noise.
+func (a *RandomNoise) Perturb(m *models.Model, x *tensor.Tensor, trueLabel int) *tensor.Tensor {
+	adv := x.Clone()
+	for i, v := range adv.Data() {
+		adv.Data()[i] = v + a.Eps*(2*a.Rand.Float64()-1)
+	}
+	return adv.ClampInPlace(0, 1)
+}

@@ -1,0 +1,162 @@
+package attack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"advhunter/internal/data"
+	"advhunter/internal/rng"
+	"advhunter/internal/tensor"
+	"advhunter/internal/train"
+)
+
+func TestMIMRespectsBall(t *testing.T) {
+	f := getFixture(t)
+	err := quick.Check(func(seed uint64) bool {
+		eps := 0.12
+		s := f.ds.Test[int(seed%uint64(len(f.ds.Test)))]
+		adv := NewMIM(eps).Perturb(f.m, s.X, s.Label)
+		diff := tensor.Sub(adv, s.X)
+		return diff.LinfNorm() <= eps+1e-12 && adv.Min() >= 0 && adv.Max() <= 1
+	}, &quick.Config{MaxCount: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMIMAtLeastAsStrongAsFGSM(t *testing.T) {
+	f := getFixture(t)
+	samples := f.ds.Test[:30]
+	eps := 0.1
+	fgsm := Craft(f.m, NewFGSM(eps), samples)
+	mim := Craft(f.m, NewMIM(eps), samples)
+	if mim.SuccessRate+0.15 < fgsm.SuccessRate {
+		t.Fatalf("MIM (%.2f) much weaker than FGSM (%.2f)", mim.SuccessRate, fgsm.SuccessRate)
+	}
+}
+
+func TestTargetedMIM(t *testing.T) {
+	f := getFixture(t)
+	const target = 4
+	var sources []data.Sample
+	for _, s := range f.ds.Test {
+		if s.Label != target {
+			sources = append(sources, s)
+		}
+		if len(sources) == 20 {
+			break
+		}
+	}
+	res := Craft(f.m, NewTargetedMIM(0.4, target), sources)
+	if res.SuccessRate < 0.4 {
+		t.Fatalf("targeted MIM success only %.2f", res.SuccessRate)
+	}
+}
+
+func TestMIMMetadata(t *testing.T) {
+	if NewMIM(0.1).Targeted() {
+		t.Fatal("untargeted MIM claims a target")
+	}
+	if NewTargetedMIM(0.1, 3).TargetClass() != 3 {
+		t.Fatal("target class lost")
+	}
+	if NewMIM(0.1).Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestRandomNoiseRarelyFools(t *testing.T) {
+	f := getFixture(t)
+	samples := f.ds.Test[:40]
+	clean := train.Evaluate(f.m, samples)
+	res := Craft(f.m, NewRandomNoise(0.1, rng.New(9)), samples)
+	// Random noise at the same budget must be far weaker than a gradient
+	// attack at that budget.
+	if clean-res.ModelAccuracy > 0.25 {
+		t.Fatalf("random noise dropped accuracy %.2f→%.2f; generator too fragile",
+			clean, res.ModelAccuracy)
+	}
+}
+
+func TestRandomNoiseStaysInRange(t *testing.T) {
+	f := getFixture(t)
+	s := f.ds.Test[0]
+	adv := NewRandomNoise(0.3, rng.New(4)).Perturb(f.m, s.X, s.Label)
+	if adv.Min() < 0 || adv.Max() > 1 {
+		t.Fatal("noise left pixel range")
+	}
+	if tensor.Equal(adv, s.X, 0) {
+		t.Fatal("noise was a no-op")
+	}
+}
+
+func TestAdaptivePGDBasics(t *testing.T) {
+	f := getFixture(t)
+	const target = 6
+	var exemplars []*tensor.Tensor
+	for _, s := range f.ds.Test {
+		if s.Label == target {
+			exemplars = append(exemplars, s.X)
+		}
+		if len(exemplars) == 5 {
+			break
+		}
+	}
+	atk, err := NewAdaptivePGD(f.m, 0.4, target, 1.0, exemplars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !atk.Targeted() || atk.TargetClass() != target {
+		t.Fatal("metadata")
+	}
+	var sources []data.Sample
+	for _, s := range f.ds.Test {
+		if s.Label != target {
+			sources = append(sources, s)
+		}
+		if len(sources) == 10 {
+			break
+		}
+	}
+	res := Craft(f.m, atk, sources)
+	if res.SuccessRate < 0.3 {
+		t.Fatalf("adaptive attack success only %.2f", res.SuccessRate)
+	}
+	// The stealth term must actually reduce feature distance relative to a
+	// plain targeted attack at equal budget.
+	plain := NewTargetedPGD(0.4, target, nil)
+	var dAdaptive, dPlain float64
+	for _, s := range sources[:5] {
+		dAdaptive += atk.FeatureDistance(atk.Perturb(f.m, s.X, s.Label))
+		dPlain += atk.FeatureDistance(plain.Perturb(f.m, s.X, s.Label))
+	}
+	if dAdaptive >= dPlain {
+		t.Fatalf("stealth term useless: adaptive distance %.3f vs plain %.3f", dAdaptive, dPlain)
+	}
+}
+
+func TestAdaptivePGDRespectsBall(t *testing.T) {
+	f := getFixture(t)
+	var exemplars []*tensor.Tensor
+	for _, s := range f.ds.Test {
+		if s.Label == 6 {
+			exemplars = append(exemplars, s.X)
+		}
+	}
+	atk, err := NewAdaptivePGD(f.m, 0.15, 6, 2, exemplars[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.ds.Test[1]
+	adv := atk.Perturb(f.m, s.X, s.Label)
+	if tensor.Sub(adv, s.X).LinfNorm() > 0.15+1e-12 {
+		t.Fatal("adaptive attack left the ball")
+	}
+}
+
+func TestAdaptivePGDErrors(t *testing.T) {
+	f := getFixture(t)
+	if _, err := NewAdaptivePGD(f.m, 0.1, 1, 1, nil); err == nil {
+		t.Fatal("expected error without exemplars")
+	}
+}

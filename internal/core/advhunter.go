@@ -1,0 +1,248 @@
+// Package core implements AdvHunter, the paper's contribution: a hard-label
+// black-box adversarial-example detector driven by Hardware Performance
+// Counter side channels.
+//
+// Offline phase (Section 5.2–5.3): for each output category c the defender
+// measures M clean validation images, each HPC event repeated R times and
+// averaged, building the template 𝒟_c; a univariate GMM (components chosen
+// by BIC) is fitted per (category, event), and a three-sigma threshold Δ_c^n
+// is derived from the negative log-likelihood distribution of the template.
+//
+// Online phase (Section 5.4): an unknown input is measured the same way;
+// its NLL under the GMM of the *predicted* category is compared against the
+// threshold, and the input is flagged as adversarial if the score exceeds it.
+package core
+
+import (
+	"fmt"
+
+	"advhunter/internal/data"
+	"advhunter/internal/engine"
+	"advhunter/internal/gmm"
+	"advhunter/internal/metrics"
+	"advhunter/internal/tensor"
+	"advhunter/internal/uarch/hpc"
+)
+
+// Measurer performs the paper's measurement protocol: run one inference on
+// the instrumented engine, read the HPC bank R times under measurement
+// noise, and keep the per-event mean.
+type Measurer struct {
+	Engine  *engine.Engine
+	Sampler *hpc.Sampler
+	// R is the repetition count (the paper uses R = 10).
+	R int
+}
+
+// NewMeasurer builds a measurer with the paper's defaults (R=10, default
+// noise model).
+func NewMeasurer(e *engine.Engine, noiseSeed uint64) *Measurer {
+	return &Measurer{
+		Engine:  e,
+		Sampler: hpc.NewSampler(hpc.DefaultNoise(), noiseSeed),
+		R:       10,
+	}
+}
+
+// Measure returns the hard-label prediction and the R-averaged counter
+// reading for one image.
+func (m *Measurer) Measure(x *tensor.Tensor) (int, hpc.Counts) {
+	pred, truth := m.Engine.Infer(x)
+	return pred, m.Sampler.MeasureMean(truth, m.R)
+}
+
+// Template is the offline dataset 𝒟: per predicted category, one row of
+// per-event means for each measured validation image.
+type Template struct {
+	Events  []hpc.Event
+	Classes int
+	// Rows[c][i][n] is the mean of event Events[n] for the i-th validation
+	// image whose (hard-label) prediction was c.
+	Rows [][][]float64
+}
+
+// NewTemplate allocates an empty template.
+func NewTemplate(classes int, events []hpc.Event) *Template {
+	return &Template{Events: events, Classes: classes, Rows: make([][][]float64, classes)}
+}
+
+// Add appends one measured image to category c.
+func (t *Template) Add(c int, counts hpc.Counts) {
+	row := make([]float64, len(t.Events))
+	for n, e := range t.Events {
+		row[n] = counts.Get(e)
+	}
+	t.Rows[c] = append(t.Rows[c], row)
+}
+
+// Column extracts 𝒟_c^n, the per-image means of one event in one category.
+func (t *Template) Column(c, n int) []float64 {
+	col := make([]float64, len(t.Rows[c]))
+	for i, row := range t.Rows[c] {
+		col[i] = row[n]
+	}
+	return col
+}
+
+// BuildTemplate measures every validation image and buckets it under its
+// *predicted* category — the only label a hard-label defender observes.
+func BuildTemplate(m *Measurer, validation []data.Sample, classes int, events []hpc.Event) *Template {
+	t := NewTemplate(classes, events)
+	for _, s := range validation {
+		pred, counts := m.Measure(s.X)
+		t.Add(pred, counts)
+	}
+	return t
+}
+
+// Config controls detector fitting.
+type Config struct {
+	// MaxK caps the BIC search over GMM component counts (paper: small).
+	MaxK int
+	// SigmaFactor is the threshold multiplier (paper: 3, the 3σ rule).
+	SigmaFactor float64
+	// MinSamples is the smallest per-category template size accepted.
+	MinSamples int
+	// GMM configures the EM fits.
+	GMM gmm.Config
+	// ForceK, when positive, disables BIC selection and fits exactly K
+	// components (the single-Gaussian baseline uses ForceK = 1).
+	ForceK int
+}
+
+// DefaultConfig mirrors the paper's settings.
+func DefaultConfig() Config {
+	return Config{MaxK: 5, SigmaFactor: 3, MinSamples: 4, GMM: gmm.DefaultConfig()}
+}
+
+// Detector is the fitted AdvHunter model: one GMM and one threshold per
+// (category, event).
+type Detector struct {
+	Events []hpc.Event
+	// Models[c][n] may be nil when category c had too few template rows;
+	// such categories never flag (the defender cannot model them).
+	Models     [][]*gmm.Model
+	Thresholds [][]float64
+	cfg        Config
+}
+
+// Fit performs the offline phase on a measured template.
+func Fit(t *Template, cfg Config) (*Detector, error) {
+	if cfg.SigmaFactor <= 0 || cfg.MaxK <= 0 {
+		return nil, fmt.Errorf("core: invalid config %+v", cfg)
+	}
+	d := &Detector{
+		Events:     t.Events,
+		Models:     make([][]*gmm.Model, t.Classes),
+		Thresholds: make([][]float64, t.Classes),
+		cfg:        cfg,
+	}
+	fitted := 0
+	for c := 0; c < t.Classes; c++ {
+		d.Models[c] = make([]*gmm.Model, len(t.Events))
+		d.Thresholds[c] = make([]float64, len(t.Events))
+		if len(t.Rows[c]) < cfg.MinSamples {
+			continue
+		}
+		for n := range t.Events {
+			col := t.Column(c, n)
+			sub := cfg.GMM
+			sub.Seed = cfg.GMM.Seed ^ (uint64(c)<<32 | uint64(n))
+			var model *gmm.Model
+			var err error
+			if cfg.ForceK > 0 {
+				model, err = gmm.Fit(col, cfg.ForceK, sub)
+			} else {
+				model, err = gmm.FitBest(col, cfg.MaxK, sub)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("core: fitting class %d event %v: %w", c, t.Events[n], err)
+			}
+			nll := make([]float64, len(col))
+			for i, x := range col {
+				nll[i] = model.NegLogLikelihood(x)
+			}
+			mu, sigma := metrics.MeanStd(nll)
+			d.Models[c][n] = model
+			d.Thresholds[c][n] = mu + cfg.SigmaFactor*sigma
+		}
+		fitted++
+	}
+	if fitted == 0 {
+		return nil, fmt.Errorf("core: no category had %d or more template rows", cfg.MinSamples)
+	}
+	return d, nil
+}
+
+// Result is one online-phase decision.
+type Result struct {
+	PredictedClass int
+	// Scores[n] is ℓ_n, the NLL of the measurement under the predicted
+	// category's GMM for event n; NaN-free (unmodelled categories score 0).
+	Scores []float64
+	// Flags[n] reports ℓ_n > Δ_ĉ^n for event n.
+	Flags []bool
+	// Modelled reports whether the predicted category had a template.
+	Modelled bool
+}
+
+// FlaggedBy reports whether the named event flagged the input.
+func (r Result) FlaggedBy(e hpc.Event, events []hpc.Event) bool {
+	for n, ev := range events {
+		if ev == e {
+			return r.Flags[n]
+		}
+	}
+	return false
+}
+
+// AnyFlag reports whether any event flagged the input (OR fusion).
+func (r Result) AnyFlag() bool {
+	for _, f := range r.Flags {
+		if f {
+			return true
+		}
+	}
+	return false
+}
+
+// Detect runs the online phase on a measured reading.
+func (d *Detector) Detect(pred int, counts hpc.Counts) Result {
+	res := Result{
+		PredictedClass: pred,
+		Scores:         make([]float64, len(d.Events)),
+		Flags:          make([]bool, len(d.Events)),
+	}
+	if pred < 0 || pred >= len(d.Models) || d.Models[pred][0] == nil {
+		return res
+	}
+	res.Modelled = true
+	for n, e := range d.Events {
+		score := d.Models[pred][n].NegLogLikelihood(counts.Get(e))
+		res.Scores[n] = score
+		res.Flags[n] = score > d.Thresholds[pred][n]
+	}
+	return res
+}
+
+// EventIndex locates an event in the detector's event list (-1 if absent).
+func (d *Detector) EventIndex(e hpc.Event) int {
+	for n, ev := range d.Events {
+		if ev == e {
+			return n
+		}
+	}
+	return -1
+}
+
+// Pipeline couples measurement and detection: the full deployed AdvHunter.
+type Pipeline struct {
+	M *Measurer
+	D *Detector
+}
+
+// Scan classifies an unknown image and reports the detection result.
+func (p *Pipeline) Scan(x *tensor.Tensor) Result {
+	pred, counts := p.M.Measure(x)
+	return p.D.Detect(pred, counts)
+}

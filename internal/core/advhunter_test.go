@@ -1,0 +1,262 @@
+package core
+
+import (
+	"testing"
+
+	"advhunter/internal/gmm"
+	"advhunter/internal/rng"
+	"advhunter/internal/uarch/hpc"
+)
+
+// syntheticTemplate builds a template where event 0 (CacheMisses-like) is
+// class-separable and event 1 (Instructions-like) is identical across
+// classes — the paper's observed structure, in miniature.
+func syntheticTemplate(seed uint64, classes, perClass int) *Template {
+	events := []hpc.Event{hpc.CacheMisses, hpc.Instructions}
+	t := NewTemplate(classes, events)
+	r := rng.New(seed)
+	for c := 0; c < classes; c++ {
+		for i := 0; i < perClass; i++ {
+			var counts hpc.Counts
+			counts[hpc.CacheMisses] = r.Normal(1000+200*float64(c), 10)
+			counts[hpc.Instructions] = r.Normal(5e6, 5e4)
+			t.Add(c, counts)
+		}
+	}
+	return t
+}
+
+func TestFitAndDetectSeparableEvent(t *testing.T) {
+	tpl := syntheticTemplate(1, 3, 40)
+	det, err := Fit(tpl, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A reading matching class 1's clean profile must pass.
+	var clean hpc.Counts
+	clean[hpc.CacheMisses] = 1205
+	clean[hpc.Instructions] = 5e6
+	res := det.Detect(1, clean)
+	if !res.Modelled {
+		t.Fatal("class 1 unmodelled")
+	}
+	if res.FlaggedBy(hpc.CacheMisses, det.Events) {
+		t.Fatal("clean-profile reading flagged")
+	}
+	// A reading with class-0-like cache misses predicted as class 2 must
+	// flag on cache-misses.
+	var adv hpc.Counts
+	adv[hpc.CacheMisses] = 1000
+	adv[hpc.Instructions] = 5e6
+	res = det.Detect(2, adv)
+	if !res.FlaggedBy(hpc.CacheMisses, det.Events) {
+		t.Fatal("anomalous cache-miss reading not flagged")
+	}
+	// Instructions carry no signal, so they must not flag either reading.
+	if res.FlaggedBy(hpc.Instructions, det.Events) {
+		t.Fatal("instructions flagged despite being class-independent")
+	}
+}
+
+func TestDetectUnmodelledClassNeverFlags(t *testing.T) {
+	tpl := syntheticTemplate(2, 3, 40)
+	tpl.Rows[2] = tpl.Rows[2][:1] // starve class 2 below MinSamples
+	det, err := Fit(tpl, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reading hpc.Counts
+	reading[hpc.CacheMisses] = 99999
+	res := det.Detect(2, reading)
+	if res.Modelled || res.AnyFlag() {
+		t.Fatal("unmodelled class produced a decision")
+	}
+	// Out-of-range prediction is also safe.
+	res = det.Detect(-1, reading)
+	if res.Modelled || res.AnyFlag() {
+		t.Fatal("out-of-range class produced a decision")
+	}
+}
+
+func TestFitRejectsEmptyTemplate(t *testing.T) {
+	tpl := NewTemplate(3, []hpc.Event{hpc.CacheMisses})
+	if _, err := Fit(tpl, DefaultConfig()); err == nil {
+		t.Fatal("expected error for empty template")
+	}
+}
+
+func TestFitRejectsBadConfig(t *testing.T) {
+	tpl := syntheticTemplate(3, 2, 10)
+	cfg := DefaultConfig()
+	cfg.SigmaFactor = 0
+	if _, err := Fit(tpl, cfg); err == nil {
+		t.Fatal("expected config error")
+	}
+}
+
+func TestSigmaFactorMonotone(t *testing.T) {
+	// Larger sigma ⇒ fewer flags. Score a borderline reading under both.
+	tpl := syntheticTemplate(4, 2, 60)
+	loose := DefaultConfig()
+	loose.SigmaFactor = 6
+	tight := DefaultConfig()
+	tight.SigmaFactor = 0.5
+	dLoose, err := Fit(tpl, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dTight, err := Fit(tpl, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	flagsLoose, flagsTight := 0, 0
+	for i := 0; i < 200; i++ {
+		var reading hpc.Counts
+		reading[hpc.CacheMisses] = r.Normal(1000, 25) // wider than template
+		reading[hpc.Instructions] = r.Normal(5e6, 5e4)
+		if dLoose.Detect(0, reading).AnyFlag() {
+			flagsLoose++
+		}
+		if dTight.Detect(0, reading).AnyFlag() {
+			flagsTight++
+		}
+	}
+	if flagsLoose >= flagsTight {
+		t.Fatalf("σ=6 flagged %d ≥ σ=0.5 flagged %d", flagsLoose, flagsTight)
+	}
+}
+
+func TestThreeSigmaFalsePositiveRateLow(t *testing.T) {
+	// Clean in-distribution readings should rarely exceed the 3σ rule.
+	tpl := syntheticTemplate(6, 2, 80)
+	det, err := Fit(tpl, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	fp := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		var reading hpc.Counts
+		reading[hpc.CacheMisses] = r.Normal(1000, 10)
+		reading[hpc.Instructions] = r.Normal(5e6, 5e4)
+		if det.Detect(0, reading).FlaggedBy(hpc.CacheMisses, det.Events) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / n; rate > 0.05 {
+		t.Fatalf("clean false-positive rate %.3f too high", rate)
+	}
+}
+
+func TestForceKSingleGaussianBaseline(t *testing.T) {
+	tpl := syntheticTemplate(8, 2, 50)
+	cfg := DefaultConfig()
+	cfg.ForceK = 1
+	det, err := Fit(tpl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 2; c++ {
+		for n := range det.Events {
+			if det.Models[c][n].K() != 1 {
+				t.Fatalf("ForceK=1 produced K=%d", det.Models[c][n].K())
+			}
+		}
+	}
+}
+
+func TestEvaluateEventScoring(t *testing.T) {
+	tpl := syntheticTemplate(9, 2, 60)
+	det, err := Fit(tpl, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(10)
+	var clean, adv []Measurement
+	for i := 0; i < 50; i++ {
+		var c hpc.Counts
+		c[hpc.CacheMisses] = r.Normal(1000, 10)
+		c[hpc.Instructions] = r.Normal(5e6, 5e4)
+		clean = append(clean, Measurement{Pred: 0, Counts: c})
+		var a hpc.Counts
+		a[hpc.CacheMisses] = r.Normal(1600, 10) // far outside class 0
+		a[hpc.Instructions] = r.Normal(5e6, 5e4)
+		adv = append(adv, Measurement{Pred: 0, Counts: a})
+	}
+	conf := EvaluateEvent(det, hpc.CacheMisses, clean, adv)
+	if conf.Total() != 100 {
+		t.Fatalf("total %d", conf.Total())
+	}
+	if conf.F1() < 0.9 {
+		t.Fatalf("separable synthetic case F1 = %.3f", conf.F1())
+	}
+	confI := EvaluateEvent(det, hpc.Instructions, clean, adv)
+	if confI.F1() > 0.3 {
+		t.Fatalf("uninformative event F1 = %.3f, want low", confI.F1())
+	}
+}
+
+func TestFusionDetector(t *testing.T) {
+	tpl := syntheticTemplate(11, 2, 60)
+	cfg := DefaultConfig()
+	f, err := FitFusion(tpl, []hpc.Event{hpc.CacheMisses, hpc.Instructions}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clean hpc.Counts
+	clean[hpc.CacheMisses] = 1000
+	clean[hpc.Instructions] = 5e6
+	if _, flagged := f.Detect(0, clean); flagged {
+		t.Fatal("fusion flagged a clean-profile reading")
+	}
+	var adv hpc.Counts
+	adv[hpc.CacheMisses] = 1700
+	adv[hpc.Instructions] = 5e6
+	if _, flagged := f.Detect(0, adv); !flagged {
+		t.Fatal("fusion missed a far-out reading")
+	}
+}
+
+func TestFusionRejectsUnknownEvent(t *testing.T) {
+	tpl := syntheticTemplate(12, 2, 30)
+	if _, err := FitFusion(tpl, []hpc.Event{hpc.LLCStoreMisses}, DefaultConfig()); err == nil {
+		t.Fatal("expected error for event absent from template")
+	}
+}
+
+func TestTemplateColumn(t *testing.T) {
+	tpl := NewTemplate(1, []hpc.Event{hpc.CacheMisses, hpc.Branches})
+	var a, b hpc.Counts
+	a[hpc.CacheMisses], a[hpc.Branches] = 10, 20
+	b[hpc.CacheMisses], b[hpc.Branches] = 30, 40
+	tpl.Add(0, a)
+	tpl.Add(0, b)
+	col := tpl.Column(0, 1)
+	if len(col) != 2 || col[0] != 20 || col[1] != 40 {
+		t.Fatalf("column = %v", col)
+	}
+}
+
+func TestGMMConfigPropagates(t *testing.T) {
+	// Determinism end-to-end: equal seeds give equal thresholds.
+	tpl := syntheticTemplate(13, 2, 40)
+	cfg := DefaultConfig()
+	cfg.GMM = gmm.DefaultConfig()
+	a, err := Fit(tpl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(tpl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range a.Thresholds {
+		for n := range a.Thresholds[c] {
+			if a.Thresholds[c][n] != b.Thresholds[c][n] {
+				t.Fatal("thresholds not deterministic")
+			}
+		}
+	}
+}

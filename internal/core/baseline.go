@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"advhunter/internal/data"
+	"advhunter/internal/metrics"
+	"advhunter/internal/models"
+	"advhunter/internal/nn"
+	"advhunter/internal/tensor"
+)
+
+// ConfidenceDetector is the soft-label baseline the paper argues real
+// vendors cannot offer (confidence scores enable model stealing, Section 2):
+// it flags inputs whose top-1 softmax confidence is anomalously low for the
+// predicted category, using the same per-category 3σ rule as AdvHunter.
+// It exists here to quantify what hard-label-only access costs.
+type ConfidenceDetector struct {
+	model      *models.Model
+	thresholds []float64 // per category, on −log(max prob)
+	modelled   []bool
+	sigma      float64
+}
+
+// FitConfidence calibrates the baseline on clean validation images.
+func FitConfidence(m *models.Model, validation []data.Sample, sigma float64, minSamples int) (*ConfidenceDetector, error) {
+	classes := m.Meta.Classes
+	scores := make([][]float64, classes)
+	for _, s := range validation {
+		pred, score := confidenceScore(m, s.X)
+		scores[pred] = append(scores[pred], score)
+	}
+	d := &ConfidenceDetector{
+		model:      m,
+		thresholds: make([]float64, classes),
+		modelled:   make([]bool, classes),
+		sigma:      sigma,
+	}
+	fitted := 0
+	for c := 0; c < classes; c++ {
+		if len(scores[c]) < minSamples {
+			continue
+		}
+		mu, sd := metrics.MeanStd(scores[c])
+		d.thresholds[c] = mu + sigma*sd
+		d.modelled[c] = true
+		fitted++
+	}
+	if fitted == 0 {
+		return nil, fmt.Errorf("core: confidence baseline has no modelled category")
+	}
+	return d, nil
+}
+
+// confidenceScore returns the prediction and −log(max softmax probability).
+func confidenceScore(m *models.Model, x *tensor.Tensor) (int, float64) {
+	batch := x.Clone().Reshape(1, m.Meta.InC, m.Meta.InH, m.Meta.InW)
+	probs := nn.Softmax(m.Logits(batch))
+	best, bestV := 0, probs.At(0, 0)
+	for j := 1; j < probs.Dim(1); j++ {
+		if v := probs.At(0, j); v > bestV {
+			best, bestV = j, v
+		}
+	}
+	return best, -math.Log(math.Max(bestV, 1e-300))
+}
+
+// Detect flags one image.
+func (d *ConfidenceDetector) Detect(x *tensor.Tensor) (pred int, flagged bool) {
+	pred, score := confidenceScore(d.model, x)
+	if !d.modelled[pred] {
+		return pred, false
+	}
+	return pred, score > d.thresholds[pred]
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"advhunter/internal/data"
+	"advhunter/internal/metrics"
+	"advhunter/internal/uarch/hpc"
+)
+
+// Measurement is one measured image: the hard-label prediction plus the
+// R-averaged counter reading. Experiments measure once and evaluate many
+// detector variants against the cached measurements.
+type Measurement struct {
+	Pred int
+	// TrueLabel is the ground-truth class (for clean images) or the
+	// original class (for adversarial ones); bookkeeping only.
+	TrueLabel int
+	Counts    hpc.Counts
+}
+
+// MeasureSet measures every sample.
+func MeasureSet(m *Measurer, samples []data.Sample) []Measurement {
+	out := make([]Measurement, len(samples))
+	for i, s := range samples {
+		pred, counts := m.Measure(s.X)
+		out[i] = Measurement{Pred: pred, TrueLabel: s.Label, Counts: counts}
+	}
+	return out
+}
+
+// EvaluateEvent scores the per-event decision rule over clean (negative) and
+// adversarial (positive) measurement sets, mirroring the paper's Table 2
+// protocol.
+func EvaluateEvent(d *Detector, event hpc.Event, clean, adv []Measurement) metrics.Confusion {
+	n := d.EventIndex(event)
+	var c metrics.Confusion
+	for _, m := range clean {
+		res := d.Detect(m.Pred, m.Counts)
+		c.Add(false, res.Flags[n])
+	}
+	for _, m := range adv {
+		res := d.Detect(m.Pred, m.Counts)
+		c.Add(true, res.Flags[n])
+	}
+	return c
+}
+
+// EvaluateFusion scores the joint-model extension the same way.
+func EvaluateFusion(f *FusionDetector, clean, adv []Measurement) metrics.Confusion {
+	var c metrics.Confusion
+	for _, m := range clean {
+		_, flagged := f.Detect(m.Pred, m.Counts)
+		c.Add(false, flagged)
+	}
+	for _, m := range adv {
+		_, flagged := f.Detect(m.Pred, m.Counts)
+		c.Add(true, flagged)
+	}
+	return c
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"advhunter/internal/gmm"
+	"advhunter/internal/metrics"
+	"advhunter/internal/uarch/hpc"
+)
+
+// FusionDetector is the multi-event extension (beyond the paper, flagged as
+// such in DESIGN.md): instead of one univariate GMM per event, it fits one
+// diagonal multivariate GMM per category over a chosen event subset, scoring
+// the joint reading. Events with wildly different magnitudes are
+// standardised per category before fitting.
+type FusionDetector struct {
+	Events     []hpc.Event
+	eventIdx   []int // indices of Events within the template's event list
+	Models     []*gmm.MultiModel
+	Thresholds []float64
+	mean, std  [][]float64 // per category per event standardisation
+	sigma      float64
+}
+
+// FitFusion fits the fusion detector on a measured template over the given
+// event subset (which must be contained in the template's events).
+func FitFusion(t *Template, events []hpc.Event, cfg Config) (*FusionDetector, error) {
+	idx := make([]int, len(events))
+	for i, e := range events {
+		idx[i] = -1
+		for n, te := range t.Events {
+			if te == e {
+				idx[i] = n
+			}
+		}
+		if idx[i] < 0 {
+			return nil, fmt.Errorf("core: event %v not in template", e)
+		}
+	}
+	f := &FusionDetector{
+		Events:     events,
+		eventIdx:   idx,
+		Models:     make([]*gmm.MultiModel, t.Classes),
+		Thresholds: make([]float64, t.Classes),
+		mean:       make([][]float64, t.Classes),
+		std:        make([][]float64, t.Classes),
+		sigma:      cfg.SigmaFactor,
+	}
+	fitted := 0
+	for c := 0; c < t.Classes; c++ {
+		rows := t.Rows[c]
+		if len(rows) < cfg.MinSamples {
+			continue
+		}
+		f.mean[c] = make([]float64, len(events))
+		f.std[c] = make([]float64, len(events))
+		for i, n := range idx {
+			mu, sd := metrics.MeanStd(t.Column(c, n))
+			if sd == 0 {
+				sd = 1
+			}
+			f.mean[c][i], f.std[c][i] = mu, sd
+		}
+		pts := make([][]float64, len(rows))
+		for i, row := range rows {
+			p := make([]float64, len(events))
+			for j, n := range idx {
+				p[j] = (row[n] - f.mean[c][j]) / f.std[c][j]
+			}
+			pts[i] = p
+		}
+		sub := cfg.GMM
+		sub.Seed = cfg.GMM.Seed ^ (uint64(c) << 16) ^ 0xf0f0
+		model, err := gmm.FitBestMulti(pts, cfg.MaxK, sub)
+		if err != nil {
+			return nil, fmt.Errorf("core: fusion fit class %d: %w", c, err)
+		}
+		nll := make([]float64, len(pts))
+		for i, p := range pts {
+			nll[i] = model.NegLogLikelihood(p)
+		}
+		mu, sd := metrics.MeanStd(nll)
+		f.Models[c] = model
+		f.Thresholds[c] = mu + cfg.SigmaFactor*sd
+		fitted++
+	}
+	if fitted == 0 {
+		return nil, fmt.Errorf("core: fusion detector has no modelled category")
+	}
+	return f, nil
+}
+
+// Detect scores one measured reading against the predicted category's joint
+// model; unmodelled categories never flag.
+func (f *FusionDetector) Detect(pred int, counts hpc.Counts) (score float64, flagged bool) {
+	if pred < 0 || pred >= len(f.Models) || f.Models[pred] == nil {
+		return 0, false
+	}
+	p := make([]float64, len(f.Events))
+	for j, e := range f.Events {
+		p[j] = (counts.Get(e) - f.mean[pred][j]) / f.std[pred][j]
+	}
+	score = f.Models[pred].NegLogLikelihood(p)
+	return score, score > f.Thresholds[pred]
+}

@@ -1,0 +1,158 @@
+package data
+
+import (
+	"math"
+
+	"advhunter/internal/rng"
+	"advhunter/internal/tensor"
+)
+
+// classParams derives the deterministic pattern parameters of a class from
+// its index. Classes are spread over orientation × frequency × phase space so
+// that neighbouring indices still produce visually distinct patterns.
+type classParams struct {
+	theta  float64 // grating orientation
+	freq   float64 // grating spatial frequency
+	phase  float64
+	blobX  float64 // attractor blob centre in [0,1]²
+	blobY  float64
+	blobS  float64 // blob radius
+	colorR float64 // channel gains (used by RGB datasets)
+	colorG float64
+	colorB float64
+	shape  int // sign silhouette family (GTSRB)
+}
+
+// paramsFor mixes the class index through a fixed hash so parameters look
+// arbitrary but are stable across runs.
+func paramsFor(class int, classes int) classParams {
+	h := rng.New(uint64(class)*0x9e3779b97f4a7c15 + 0xabcdef)
+	frac := float64(class) / float64(classes)
+	return classParams{
+		theta:  math.Pi * frac * 2.7,
+		freq:   1.5 + 3.5*h.Float64(),
+		phase:  2 * math.Pi * h.Float64(),
+		blobX:  0.2 + 0.6*h.Float64(),
+		blobY:  0.2 + 0.6*h.Float64(),
+		blobS:  0.10 + 0.15*h.Float64(),
+		colorR: 0.3 + 0.7*h.Float64(),
+		colorG: 0.3 + 0.7*h.Float64(),
+		colorB: 0.3 + 0.7*h.Float64(),
+		shape:  class % 3,
+	}
+}
+
+// instance describes per-image jitter shared by all generators.
+type instance struct {
+	dx, dy    float64 // sub-pixel translation in pixel units
+	amplitude float64
+	noise     float64
+}
+
+func drawInstance(r *rng.Rand) instance {
+	return instance{
+		dx:        r.Normal(0, 0.5),
+		dy:        r.Normal(0, 0.5),
+		amplitude: 0.9 + 0.2*r.Float64(),
+		noise:     0.04 + 0.03*r.Float64(),
+	}
+}
+
+// grating evaluates the class's oriented sinusoid at pixel (x, y) of an h×w
+// grid, with instance jitter applied.
+func grating(p classParams, in instance, x, y, h, w int) float64 {
+	u := (float64(x) + in.dx) / float64(w)
+	v := (float64(y) + in.dy) / float64(h)
+	t := u*math.Cos(p.theta) + v*math.Sin(p.theta)
+	return 0.5 + 0.5*math.Sin(2*math.Pi*p.freq*t+p.phase)
+}
+
+// blob evaluates the class's Gaussian attractor at pixel (x, y).
+func blob(p classParams, in instance, x, y, h, w int) float64 {
+	u := (float64(x)+in.dx)/float64(w) - p.blobX
+	v := (float64(y)+in.dy)/float64(h) - p.blobY
+	return math.Exp(-(u*u + v*v) / (2 * p.blobS * p.blobS))
+}
+
+// genFashionMNIST produces a 1×28×28 grayscale pattern: grating + blob with
+// instance jitter and pixel noise.
+func genFashionMNIST(class int, r *rng.Rand) *tensor.Tensor {
+	const h, w = 28, 28
+	p := paramsFor(class, 10)
+	in := drawInstance(r)
+	img := tensor.New(1, h, w)
+	d := img.Data()
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 0.55*grating(p, in, x, y, h, w) + 0.45*blob(p, in, x, y, h, w)
+			d[y*w+x] = in.amplitude*v + r.Normal(0, in.noise)
+		}
+	}
+	img.ClampInPlace(0, 1)
+	return img
+}
+
+// genCIFAR10 produces a 3×32×32 colour pattern: the class grating and blob
+// modulated by class-specific channel gains, plus a second harmonic so
+// classes are not linearly separable from raw pixels.
+func genCIFAR10(class int, r *rng.Rand) *tensor.Tensor {
+	const h, w = 32, 32
+	p := paramsFor(class, 10)
+	in := drawInstance(r)
+	img := tensor.New(3, h, w)
+	d := img.Data()
+	gains := [3]float64{p.colorR, p.colorG, p.colorB}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g := grating(p, in, x, y, h, w)
+			b := blob(p, in, x, y, h, w)
+			h2 := 0.5 + 0.5*math.Sin(4*math.Pi*p.freq*(float64(x+y)+in.dx)/float64(h+w)+p.phase)
+			base := 0.45*g + 0.35*b + 0.20*h2
+			for c := 0; c < 3; c++ {
+				d[c*h*w+y*w+x] = in.amplitude*gains[c]*base + r.Normal(0, in.noise)
+			}
+		}
+	}
+	img.ClampInPlace(0, 1)
+	return img
+}
+
+// genGTSRB produces a 3×32×32 traffic-sign-like pattern: a silhouette
+// (disc / triangle / diamond by class family) whose border and interior carry
+// class-specific hue and stripe frequency.
+func genGTSRB(class int, r *rng.Rand) *tensor.Tensor {
+	const h, w = 32, 32
+	p := paramsFor(class, 43)
+	in := drawInstance(r)
+	img := tensor.New(3, h, w)
+	d := img.Data()
+	cx, cy := 0.5+in.dx/float64(w), 0.5+in.dy/float64(h)
+	gains := [3]float64{p.colorR, p.colorG, p.colorB}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			u := float64(x)/float64(w) - cx
+			v := float64(y)/float64(h) - cy
+			var dist float64
+			switch p.shape {
+			case 0: // disc
+				dist = math.Sqrt(u*u+v*v) / 0.38
+			case 1: // triangle (infinity-norm-ish wedge)
+				dist = (math.Abs(u) + math.Max(-v, 0.0) + 0.4*math.Max(v, 0)) / 0.34
+			default: // diamond
+				dist = (math.Abs(u) + math.Abs(v)) / 0.40
+			}
+			inside := 0.0
+			if dist < 1 {
+				inside = 1
+			}
+			border := math.Exp(-math.Abs(dist-1) * 12)
+			stripe := 0.5 + 0.5*math.Sin(2*math.Pi*p.freq*(u*math.Cos(p.theta)+v*math.Sin(p.theta))+p.phase)
+			for c := 0; c < 3; c++ {
+				val := 0.15 + 0.55*inside*stripe*gains[c] + 0.5*border*gains[(c+1)%3]
+				d[c*h*w+y*w+x] = in.amplitude*val + r.Normal(0, in.noise)
+			}
+		}
+	}
+	img.ClampInPlace(0, 1)
+	return img
+}

@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"advhunter/internal/rng"
+	"advhunter/internal/uarch/cache"
+)
+
+// CoRunnerConfig models a co-located process on another core. Private L1/L2
+// are per-core, so the co-runner only touches the shared LLC — but there it
+// both evicts the victim's lines and inflates the LLC reference/miss
+// counters, which is the physical mechanism behind measurement contamination
+// on shared machines (the statistical noise model in internal/uarch/hpc
+// approximates the same thing post-hoc; this injects it mechanically).
+type CoRunnerConfig struct {
+	// EveryN injects a burst after every N demand accesses of the measured
+	// process (0 disables the co-runner).
+	EveryN int
+	// Burst is the number of co-runner LLC accesses per injection.
+	Burst int
+	// FootprintB is the byte size of the co-runner's working set; larger
+	// footprints cause more evictions of the victim's lines.
+	FootprintB uint64
+	// Seed drives the co-runner's access pattern.
+	Seed uint64
+}
+
+// coRunner is the runtime state of the interfering process.
+type coRunner struct {
+	cfg     CoRunnerConfig
+	r       *rng.Rand
+	counter int
+	llc     cache.Level
+}
+
+// corunnerBase places the co-runner's working set away from the victim's.
+const corunnerBase = 0x6000_0000
+
+// newCoRunner builds the injector (nil when disabled).
+func newCoRunner(cfg CoRunnerConfig, llc cache.Level) *coRunner {
+	if cfg.EveryN <= 0 || cfg.Burst <= 0 {
+		return nil
+	}
+	if cfg.FootprintB == 0 {
+		cfg.FootprintB = 1 << 20
+	}
+	return &coRunner{cfg: cfg, r: rng.New(cfg.Seed ^ 0xc0c0), llc: llc}
+}
+
+// reset restarts the co-runner's deterministic stream so per-image counts
+// stay reproducible.
+func (c *coRunner) reset() {
+	c.r = rng.New(c.cfg.Seed ^ 0xc0c0)
+	c.counter = 0
+}
+
+// tick is called once per victim demand access and occasionally injects a
+// burst of co-runner traffic into the shared LLC.
+func (c *coRunner) tick() {
+	c.counter++
+	if c.counter%c.cfg.EveryN != 0 {
+		return
+	}
+	lines := c.cfg.FootprintB / 64
+	for i := 0; i < c.cfg.Burst; i++ {
+		addr := corunnerBase + uint64(c.r.Intn(int(lines)))*64
+		c.llc.Access(addr, cache.Load)
+	}
+}

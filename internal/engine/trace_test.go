@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"testing"
+
+	"advhunter/internal/models"
+	"advhunter/internal/nn"
+	"advhunter/internal/rng"
+	"advhunter/internal/tensor"
+	"advhunter/internal/uarch/hpc"
+)
+
+// tinyModel wraps a hand-built net in a Model so the engine can run it.
+func tinyModel(inC, h, w, classes int, layers ...nn.Layer) *models.Model {
+	net := nn.NewSequential("tiny", layers...)
+	return &models.Model{
+		Meta: models.Meta{Arch: "tiny", InC: inC, InH: h, InW: w, Classes: classes},
+		Net:  net,
+	}
+}
+
+// flatten+linear tail so every tiny net ends in logits.
+func tail(features, classes int, seed uint64) []nn.Layer {
+	fc := nn.NewLinear("fc", features, classes)
+	nn.InitHe(rng.New(seed), fc)
+	return []nn.Layer{nn.NewFlatten("flat"), fc}
+}
+
+func TestConvElisionReducesTraffic(t *testing.T) {
+	conv := nn.NewConv2D("c", 2, 4, 3, 1, 1)
+	nn.InitHe(rng.New(1), conv)
+	m := tinyModel(2, 8, 8, 3, append([]nn.Layer{conv}, tail(4*8*8, 3, 2)...)...)
+	e := NewDefault(m)
+
+	dense := tensor.New(2, 8, 8)
+	rng.New(3).FillUniform(dense.Data(), 0.5, 1) // no zeros anywhere
+	_, cDense := e.Infer(dense)
+
+	half := dense.Clone()
+	// Zero out channel 1 entirely: its row groups elide weight+activation loads.
+	copy(half.Data()[64:128], make([]float64, 64))
+	_, cHalf := e.Infer(half)
+
+	if cHalf.Get(hpc.L1DLoadMisses) >= cDense.Get(hpc.L1DLoadMisses) {
+		t.Fatalf("zero channel did not reduce load misses: %v vs %v",
+			cHalf.Get(hpc.L1DLoadMisses), cDense.Get(hpc.L1DLoadMisses))
+	}
+	// Predicated execution: instruction count must NOT change.
+	if cHalf.Get(hpc.Instructions) != cDense.Get(hpc.Instructions) {
+		t.Fatal("elision changed the instruction count")
+	}
+}
+
+func TestLinearElisionSkipsWeightLines(t *testing.T) {
+	fc := nn.NewLinear("fc", 64, 4)
+	nn.InitHe(rng.New(4), fc)
+	m := tinyModel(1, 8, 8, 4, nn.NewFlatten("flat"), fc)
+	e := NewDefault(m)
+
+	dense := tensor.New(1, 8, 8)
+	rng.New(5).FillUniform(dense.Data(), 0.5, 1)
+	_, cDense := e.Infer(dense)
+
+	sparse := dense.Clone()
+	copy(sparse.Data()[:32], make([]float64, 32)) // 4 of 8 input lines zero
+	_, cSparse := e.Infer(sparse)
+
+	if cSparse.Get(hpc.L1DLoadMisses) >= cDense.Get(hpc.L1DLoadMisses) {
+		t.Fatal("zero input lines did not skip weight traffic")
+	}
+}
+
+func TestReLUZeroStoresAbsorbed(t *testing.T) {
+	m := tinyModel(1, 8, 8, 2, append([]nn.Layer{nn.NewReLU("r")}, tail(64, 2, 6)...)...)
+	e := NewDefault(m)
+	neg := tensor.New(1, 8, 8).Fill(-1) // ReLU output all zero
+	_, _ = e.Infer(neg)
+	if e.M.Hier.ZeroStores == 0 {
+		t.Fatal("all-zero ReLU output generated store traffic")
+	}
+}
+
+func TestBranchyModeAddsDataBranches(t *testing.T) {
+	build := func(branchy bool) hpc.Counts {
+		relu := nn.NewReLU("r")
+		m := tinyModel(1, 8, 8, 2, append([]nn.Layer{relu}, tail(64, 2, 7)...)...)
+		cfg := DefaultMachineConfig()
+		cfg.BranchyKernels = branchy
+		e := New(m, cfg)
+		x := tensor.New(1, 8, 8)
+		rng.New(8).FillNormal(x.Data(), 0, 1)
+		_, c := e.Infer(x)
+		return c
+	}
+	simd := build(false)
+	branchy := build(true)
+	// Branchy kernels add one branch per element (64).
+	if branchy.Get(hpc.Branches) < simd.Get(hpc.Branches)+64 {
+		t.Fatalf("branchy mode added %v branches, want ≥ 64",
+			branchy.Get(hpc.Branches)-simd.Get(hpc.Branches))
+	}
+}
+
+func TestInstructionCountScalesWithWork(t *testing.T) {
+	// A conv with twice the output channels must retire ~twice the MACs.
+	counts := func(outC int) float64 {
+		conv := nn.NewConv2D("c", 1, outC, 3, 1, 1)
+		nn.InitHe(rng.New(9), conv)
+		m := tinyModel(1, 8, 8, 2, append([]nn.Layer{conv}, tail(outC*64, 2, 10)...)...)
+		e := NewDefault(m)
+		x := tensor.New(1, 8, 8)
+		rng.New(11).FillUniform(x.Data(), 0, 1)
+		_, c := e.Infer(x)
+		return c.Get(hpc.Instructions)
+	}
+	c4, c8 := counts(4), counts(8)
+	ratio := c8 / c4
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Fatalf("instructions scaled by %.2f for 2x channels", ratio)
+	}
+}
+
+func TestCoRunnerInflatesLLCTraffic(t *testing.T) {
+	build := func(every int) hpc.Counts {
+		m := models.MustBuild("simplecnn", 1, 28, 28, 10, 12)
+		cfg := DefaultMachineConfig()
+		if every > 0 {
+			cfg.CoRunner = CoRunnerConfig{EveryN: every, Burst: 4, Seed: 5}
+		}
+		e := New(m, cfg)
+		x := tensor.New(1, 28, 28)
+		rng.New(13).FillUniform(x.Data(), 0, 1)
+		_, c := e.Infer(x)
+		return c
+	}
+	idle := build(0)
+	busy := build(8)
+	if busy.Get(hpc.CacheReferences) <= idle.Get(hpc.CacheReferences) {
+		t.Fatal("co-runner generated no LLC references")
+	}
+	if busy.Get(hpc.CacheMisses) <= idle.Get(hpc.CacheMisses) {
+		t.Fatal("co-runner contention produced no extra misses")
+	}
+}
+
+func TestCoRunnerDeterministic(t *testing.T) {
+	m := models.MustBuild("simplecnn", 1, 28, 28, 10, 12)
+	cfg := DefaultMachineConfig()
+	cfg.CoRunner = CoRunnerConfig{EveryN: 16, Burst: 2, Seed: 9}
+	e := New(m, cfg)
+	x := tensor.New(1, 28, 28)
+	rng.New(14).FillUniform(x.Data(), 0, 1)
+	_, a := e.Infer(x)
+	_, b := e.Infer(x)
+	if a != b {
+		t.Fatal("co-runner broke per-image determinism")
+	}
+}
+
+func TestEngineRejectsUnknownLayer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for untraceable layer")
+		}
+	}()
+	m := tinyModel(1, 4, 4, 2, fakeLayer{})
+	e := NewDefault(m)
+	e.Infer(tensor.New(1, 4, 4))
+}
+
+// fakeLayer is a layer type the engine has no tracer for.
+type fakeLayer struct{}
+
+func (fakeLayer) Name() string                                        { return "fake" }
+func (fakeLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor { return x }
+func (fakeLayer) Backward(g *tensor.Tensor) *tensor.Tensor            { return g }
+func (fakeLayer) Params() []*nn.Param                                 { return nil }

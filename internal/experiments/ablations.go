@@ -1,0 +1,497 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"advhunter/internal/core"
+	"advhunter/internal/data"
+	"advhunter/internal/metrics"
+	"advhunter/internal/uarch/cache"
+	"advhunter/internal/uarch/hpc"
+)
+
+// ablationSpec is the shared attack workload for the hardware ablations: a
+// mid-strength untargeted FGSM on S2.
+var ablationSpec = AttackSpec{Kind: "fgsm", Eps: 0.1}
+
+// ablationSources returns the source-image budget for ablation workloads.
+func ablationSources(opts Options) int {
+	if opts.Quick {
+		return 30
+	}
+	return 100
+}
+
+// AblationRow is one configuration's detection outcome.
+type AblationRow struct {
+	Config string
+	Event  hpc.Event
+	F1     float64
+	Acc    float64
+}
+
+// AblationResult is a generic named list of configuration outcomes.
+type AblationResult struct {
+	Title string
+	Note  string
+	Rows  []AblationRow
+}
+
+// Render writes the ablation table.
+func (r *AblationResult) Render(w io.Writer) {
+	heading(w, "%s", r.Title)
+	t := newTable("configuration", "event", "accuracy", "F1")
+	for _, row := range r.Rows {
+		t.addf(row.Config, row.Event.String(), pct(row.Acc), f4(row.F1))
+	}
+	t.render(w)
+	if r.Note != "" {
+		fmt.Fprintln(w, r.Note)
+	}
+}
+
+// AblationReplacement sweeps the LLC replacement policy (beyond the paper:
+// does the side channel survive non-LRU caches?).
+func AblationReplacement(opts Options) (*AblationResult, error) {
+	env, err := LoadEnv("S2", opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{
+		Title: "Ablation: LLC replacement policy vs detection (S2, " + ablationSpec.String() + ")",
+		Note:  "The signal is traffic-volume driven, so it should survive any reasonable policy.",
+	}
+	for _, pol := range []cache.Policy{cache.LRU, cache.PLRU, cache.SRRIP, cache.Random} {
+		v := DefaultVariant()
+		v.Tag = "llc-" + pol.String()
+		v.Machine.Hierarchy.LLC.Policy = pol
+		v.Machine.Hierarchy.LLC.Seed = 42
+		conf, err := env.VariantEvaluation(v, ablationSpec, ablationSources(opts), hpc.CacheMisses)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Config: "LLC policy " + pol.String(), Event: hpc.CacheMisses,
+			F1: conf.F1(), Acc: conf.Accuracy(),
+		})
+	}
+	return res, nil
+}
+
+// AblationPrefetch sweeps L1D prefetchers (beyond the paper: prefetching
+// perturbs demand-miss counts — does it mask the channel?).
+func AblationPrefetch(opts Options) (*AblationResult, error) {
+	env, err := LoadEnv("S2", opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{
+		Title: "Ablation: L1D prefetcher vs detection (S2, " + ablationSpec.String() + ")",
+		Note:  "Prefetchers move fills earlier but do not hide value-dependent traffic volume.",
+	}
+	type pf struct {
+		name  string
+		build func() cache.Prefetcher
+	}
+	for _, p := range []pf{
+		{"none", func() cache.Prefetcher { return nil }},
+		{"next-line", func() cache.Prefetcher { return &cache.NextLinePrefetcher{LineB: 64} }},
+		{"stride(2)", func() cache.Prefetcher { return &cache.StridePrefetcher{LineB: 64, Degree: 2} }},
+	} {
+		v := DefaultVariant()
+		v.Tag = "pf-" + p.name
+		v.Machine.Hierarchy.L1DPrefetcher = p.build()
+		conf, err := env.VariantEvaluation(v, ablationSpec, ablationSources(opts), hpc.CacheMisses)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Config: "prefetcher " + p.name, Event: hpc.CacheMisses,
+			F1: conf.F1(), Acc: conf.Accuracy(),
+		})
+	}
+	return res, nil
+}
+
+// AblationQuant sweeps the deployed storage precision (beyond the paper:
+// how much sparsity must the runtime expose for the channel to work?).
+func AblationQuant(opts Options) (*AblationResult, error) {
+	env, err := LoadEnv("S2", opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{
+		Title: "Ablation: tensor storage precision vs detection (S2, " + ablationSpec.String() + ")",
+		Note:  "Lower-precision storage zeroes more activations, widening the data-flow side channel.",
+	}
+	for _, q := range []struct {
+		levels int
+		name   string
+	}{
+		{0, "float (exact zeros only)"},
+		{127, "int8"},
+		{15, "int4"},
+		{7, "int3 (default)"},
+	} {
+		v := DefaultVariant()
+		v.Tag = fmt.Sprintf("quant-%d", q.levels)
+		v.Machine.QuantLevels = q.levels
+		conf, err := env.VariantEvaluation(v, ablationSpec, ablationSources(opts), hpc.CacheMisses)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Config: q.name, Event: hpc.CacheMisses,
+			F1: conf.F1(), Acc: conf.Accuracy(),
+		})
+	}
+	return res, nil
+}
+
+// AblationBranchy compares SIMD (branchless) kernels against naive scalar
+// kernels: with per-element branches, branch-misses become a side channel of
+// their own (beyond the paper).
+func AblationBranchy(opts Options) (*AblationResult, error) {
+	env, err := LoadEnv("S2", opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{
+		Title: "Ablation: kernel style vs branch-miss leakage (S2, " + ablationSpec.String() + ")",
+		Note: "Production SIMD kernels leave branch-misses uninformative (the paper's finding);\n" +
+			"naively compiled scalar kernels leak the activation pattern through the predictor too.",
+	}
+	for _, b := range []struct {
+		branchy bool
+		name    string
+	}{
+		{false, "SIMD kernels (default)"},
+		{true, "scalar branchy kernels"},
+	} {
+		v := DefaultVariant()
+		v.Tag = fmt.Sprintf("branchy-%v", b.branchy)
+		v.Machine.BranchyKernels = b.branchy
+		for _, ev := range []hpc.Event{hpc.BranchMisses, hpc.CacheMisses} {
+			conf, err := env.VariantEvaluation(v, ablationSpec, ablationSources(opts), ev)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, AblationRow{
+				Config: b.name, Event: ev, F1: conf.F1(), Acc: conf.Accuracy(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// NoisePoint is one cell of the measurement-protocol sweep.
+type NoisePoint struct {
+	NoiseScale float64
+	R          int
+	F1         float64
+}
+
+// NoiseAblationResult sweeps background-noise intensity and the repetition
+// count R, quantifying why the paper repeats each measurement (R=10).
+type NoiseAblationResult struct {
+	Points []NoisePoint
+}
+
+// AblationNoise runs the protocol sweep on cached noise-free counts.
+func AblationNoise(opts Options) (*NoiseAblationResult, error) {
+	env, err := LoadEnv("S2", opts)
+	if err != nil {
+		return nil, err
+	}
+	n := ablationSources(opts)
+	valTruth, err := env.TruthMeasurements("validation", ablationSpec, n)
+	if err != nil {
+		return nil, err
+	}
+	testTruth, err := env.TruthMeasurements("test", ablationSpec, n)
+	if err != nil {
+		return nil, err
+	}
+	aeTruth, err := env.TruthMeasurements("attack", ablationSpec, n)
+	if err != nil {
+		return nil, err
+	}
+	scales := []float64{0.5, 1, 2, 4}
+	repeats := []int{1, 5, 10, 20}
+	if opts.Quick {
+		scales = []float64{1, 4}
+		repeats = []int{1, 10}
+	}
+	res := &NoiseAblationResult{}
+	for _, sc := range scales {
+		noise := hpc.DefaultNoise()
+		noise.Rel *= sc
+		for e := range noise.EventRel {
+			noise.EventRel[e] *= sc
+			noise.AbsFloor[e] *= sc
+		}
+		for _, rep := range repeats {
+			seed := uint64(sc*1000) ^ uint64(rep)<<8
+			val := resampleNoise(valTruth, noise, rep, seed^1)
+			tpl := TemplateFromMeasurements(val, env.DS.Classes, env.Scn.TemplateM, hpc.AllEvents())
+			det, err := core.Fit(tpl, core.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			test := resampleNoise(testTruth, noise, rep, seed^2)
+			var clean []core.Measurement
+			for _, m := range test {
+				if m.Pred == m.TrueLabel {
+					clean = append(clean, m)
+				}
+			}
+			adv := resampleNoise(aeTruth, noise, rep, seed^3)
+			conf := core.EvaluateEvent(det, hpc.CacheMisses, clean, adv)
+			res.Points = append(res.Points, NoisePoint{NoiseScale: sc, R: rep, F1: conf.F1()})
+		}
+	}
+	return res, nil
+}
+
+// Render writes the grid.
+func (r *NoiseAblationResult) Render(w io.Writer) {
+	heading(w, "Ablation: measurement noise scale × repetition count R (S2, %s)", ablationSpec)
+	t := newTable("noise scale", "R", "F1 (cache-misses)")
+	for _, p := range r.Points {
+		t.addf(fmt.Sprintf("%.1fx", p.NoiseScale), fmt.Sprintf("%d", p.R), f4(p.F1))
+	}
+	t.render(w)
+	fmt.Fprintln(w, "Repeating measurements (the paper's R=10) recovers detection quality lost to")
+	fmt.Fprintln(w, "background contamination; heavy noise with R=1 degrades the detector most.")
+}
+
+// DetectorComparisonResult compares detector variants on the same workload.
+type DetectorComparisonResult struct {
+	Rows []AblationRow
+}
+
+// AblationDetectors compares the paper's BIC-selected GMM against a
+// single-Gaussian template, OR-fusion over all events, a joint multivariate
+// GMM, and the soft-label confidence baseline the paper argues vendors
+// cannot deploy.
+func AblationDetectors(opts Options) (*DetectorComparisonResult, error) {
+	env, err := LoadEnv("S2", opts)
+	if err != nil {
+		return nil, err
+	}
+	n := ablationSources(opts)
+	valMeas, err := env.ValidationMeasurements()
+	if err != nil {
+		return nil, err
+	}
+	tpl := TemplateFromMeasurements(valMeas, env.DS.Classes, env.Scn.TemplateM, hpc.AllEvents())
+	clean, err := env.CorrectCleanMeasurements()
+	if err != nil {
+		return nil, err
+	}
+	ar, err := env.Attack(ablationSpec, n)
+	if err != nil {
+		return nil, err
+	}
+	res := &DetectorComparisonResult{}
+	add := func(name string, ev hpc.Event, conf metrics.Confusion) {
+		res.Rows = append(res.Rows, AblationRow{Config: name, Event: ev, F1: conf.F1(), Acc: conf.Accuracy()})
+	}
+
+	// Paper detector: BIC-selected GMM on cache-misses.
+	det, err := core.Fit(tpl, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	add("GMM + BIC (paper)", hpc.CacheMisses, core.EvaluateEvent(det, hpc.CacheMisses, clean, ar.Meas))
+
+	// Single-Gaussian template.
+	cfg1 := core.DefaultConfig()
+	cfg1.ForceK = 1
+	det1, err := core.Fit(tpl, cfg1)
+	if err != nil {
+		return nil, err
+	}
+	add("single Gaussian (K=1)", hpc.CacheMisses, core.EvaluateEvent(det1, hpc.CacheMisses, clean, ar.Meas))
+
+	// OR-fusion across all events.
+	var orConf metrics.Confusion
+	for _, m := range clean {
+		orConf.Add(false, det.Detect(m.Pred, m.Counts).AnyFlag())
+	}
+	for _, m := range ar.Meas {
+		orConf.Add(true, det.Detect(m.Pred, m.Counts).AnyFlag())
+	}
+	add("OR over all events", hpc.NumEvents, orConf)
+
+	// Joint multivariate GMM over the data-cache events.
+	fusionEvents := []hpc.Event{hpc.CacheMisses, hpc.L1DLoadMisses, hpc.LLCLoadMisses}
+	fus, err := core.FitFusion(tpl, fusionEvents, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	add("multivariate GMM fusion", hpc.NumEvents, core.EvaluateFusion(fus, clean, ar.Meas))
+
+	// Soft-label confidence baseline (requires access the threat model
+	// forbids; shown to quantify the cost of hard-label-only detection).
+	set, err := env.Craft(ablationSpec, n)
+	if err != nil {
+		return nil, err
+	}
+	cd, err := core.FitConfidence(env.Model, env.ValidationPool(), 3, 4)
+	if err != nil {
+		return nil, err
+	}
+	var confBase metrics.Confusion
+	for _, s := range env.DS.Test {
+		if pred, flagged := cd.Detect(s.X); pred == s.Label {
+			confBase.Add(false, flagged)
+		}
+	}
+	for _, s := range fromDTOs(set.Successful) {
+		_, flagged := cd.Detect(s.X)
+		confBase.Add(true, flagged)
+	}
+	add("confidence baseline (soft-label)", hpc.NumEvents, confBase)
+	return res, nil
+}
+
+// Render writes the comparison.
+func (r *DetectorComparisonResult) Render(w io.Writer) {
+	heading(w, "Ablation: detector variants (S2, %s)", ablationSpec)
+	t := newTable("detector", "signal", "accuracy", "F1")
+	for _, row := range r.Rows {
+		sig := row.Event.String()
+		if row.Event == hpc.NumEvents {
+			sig = "(multiple)"
+		}
+		t.addf(row.Config, sig, pct(row.Acc), f4(row.F1))
+	}
+	t.render(w)
+}
+
+// AblationCoRunner sweeps mechanically injected shared-LLC contention from a
+// co-located process (beyond the paper: can a noisy neighbour mask the
+// channel?). The detector's template is refitted under each contention
+// level, as a real defender calibrating on the deployed machine would.
+func AblationCoRunner(opts Options) (*AblationResult, error) {
+	env, err := LoadEnv("S2", opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{
+		Title: "Ablation: co-runner LLC contention vs detection (S2, " + ablationSpec.String() + ")",
+		Note: "Contention inflates and jitters the LLC counters; the template absorbs the mean\n" +
+			"shift, so detection degrades only once the jitter rivals the class signal.",
+	}
+	for _, c := range []struct {
+		name   string
+		everyN int
+		burst  int
+	}{
+		{"idle machine", 0, 0},
+		{"light co-runner (1/64 accesses)", 64, 2},
+		{"busy co-runner (1/16 accesses)", 16, 4},
+		{"thrashing co-runner (1/4 accesses)", 4, 8},
+	} {
+		v := DefaultVariant()
+		v.Tag = fmt.Sprintf("corun-%d-%d", c.everyN, c.burst)
+		v.Machine.CoRunner = engineCoRunner(c.everyN, c.burst)
+		conf, err := env.VariantEvaluation(v, ablationSpec, ablationSources(opts), hpc.CacheMisses)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Config: c.name, Event: hpc.CacheMisses, F1: conf.F1(), Acc: conf.Accuracy(),
+		})
+	}
+	return res, nil
+}
+
+// ControlNoiseResult is the random-perturbation control: noisy-but-benign
+// inputs must not trip the detector the way adversarial ones do.
+type ControlNoiseResult struct {
+	Eps            float64
+	FlipRate       float64 // how often noise alone changes the prediction
+	NoiseFlagRate  float64 // detector flag rate on noisy benign inputs
+	CleanFlagRate  float64 // detector flag rate on unmodified clean inputs
+	AttackFlagRate float64 // detector flag rate on real AEs (reference)
+}
+
+// ControlNoise runs the control experiment.
+func ControlNoise(opts Options) (*ControlNoiseResult, error) {
+	env, err := LoadEnv("S2", opts)
+	if err != nil {
+		return nil, err
+	}
+	det, err := env.Detector()
+	if err != nil {
+		return nil, err
+	}
+	n := ablationSources(opts)
+	cmIdx := det.EventIndex(hpc.CacheMisses)
+	flagRate := func(ms []core.Measurement) float64 {
+		if len(ms) == 0 {
+			return 0
+		}
+		flags := 0
+		for _, m := range ms {
+			if det.Detect(m.Pred, m.Counts).Flags[cmIdx] {
+				flags++
+			}
+		}
+		return float64(flags) / float64(len(ms))
+	}
+
+	eps := ablationSpec.Eps
+	noiseSpec := AttackSpec{Kind: "noise", Eps: eps}
+	noisySet, err := env.Craft(noiseSpec, n)
+	if err != nil {
+		return nil, err
+	}
+	// For the control we measure ALL noisy images (not just "successful"
+	// ones — noise has no goal); re-craft the full set from sources.
+	noisyAll, err := env.measureCached(env.Meas, fmt.Sprintf("noisy-all-%g-n%d", eps, n), noisyImages(env, eps, n))
+	if err != nil {
+		return nil, err
+	}
+	clean, err := env.CorrectCleanMeasurements()
+	if err != nil {
+		return nil, err
+	}
+	ar, err := env.Attack(ablationSpec, n)
+	if err != nil {
+		return nil, err
+	}
+	return &ControlNoiseResult{
+		Eps:            eps,
+		FlipRate:       noisySet.SuccessRate,
+		NoiseFlagRate:  flagRate(noisyAll),
+		CleanFlagRate:  flagRate(clean),
+		AttackFlagRate: flagRate(ar.Meas),
+	}, nil
+}
+
+// noisyImages perturbs n attack-source images with bounded uniform noise.
+func noisyImages(env *Env, eps float64, n int) []data.Sample {
+	atk, _ := AttackSpec{Kind: "noise", Eps: eps}.build(0, env.Scn.Seed^0x1234)
+	var out []data.Sample
+	for _, s := range env.attackSources(false, n) {
+		out = append(out, data.Sample{X: atk.Perturb(env.Model, s.X, s.Label), Label: s.Label})
+	}
+	return out
+}
+
+// Render writes the control summary.
+func (r *ControlNoiseResult) Render(w io.Writer) {
+	heading(w, "Control: bounded random noise (ε=%g) vs the detector (S2)", r.Eps)
+	t := newTable("input population", "detector flag rate")
+	t.addf("clean test images", pct(r.CleanFlagRate))
+	t.addf(fmt.Sprintf("clean + uniform ±%g noise", r.Eps), pct(r.NoiseFlagRate))
+	t.addf("adversarial examples (FGSM)", pct(r.AttackFlagRate))
+	t.render(w)
+	fmt.Fprintf(w, "random noise changed the prediction on %.1f%% of images (vs a gradient attack)\n", 100*r.FlipRate)
+	fmt.Fprintln(w, "A sound detector separates 'adversarial' from merely 'noisy': the noise flag")
+	fmt.Fprintln(w, "rate should sit near the clean rate and far below the attack rate.")
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// saveGob atomically writes v (gob-encoded) to path, creating directories.
+func saveGob(path string, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("experiments: encoding %s: %w", path, err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadGob reads a gob file into v.
+func loadGob(path string, v any) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(v); err != nil {
+		return fmt.Errorf("experiments: decoding %s: %w", path, err)
+	}
+	return nil
+}

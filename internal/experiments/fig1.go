@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"advhunter/internal/attack"
+	"advhunter/internal/data"
+	"advhunter/internal/metrics"
+	"advhunter/internal/tensor"
+)
+
+// Fig1Layer summarises one activation layer's neuron-activation-frequency
+// distributions for clean and adversarial batches.
+type Fig1Layer struct {
+	Layer string
+	// MeanFreqClean/Adv is the average activation frequency over neurons.
+	MeanFreqClean, MeanFreqAdv float64
+	// Divergence is the mean absolute difference between the per-neuron
+	// activation-frequency vectors — how differently the two input
+	// populations drive the layer.
+	Divergence float64
+	// Overlap is the histogram overlap of the two frequency distributions
+	// (1 = indistinguishable, as in the paper's visually identical panels).
+	Overlap float64
+}
+
+// Fig1Result reproduces Figure 1: distributions of activated neurons per
+// activation layer, clean 'bird' inputs versus inputs of other categories
+// adversarially perturbed (targeted FGSM) to be classified 'bird', on the
+// 4-conv/2-FC case-study CNN trained on CIFAR-10.
+type Fig1Result struct {
+	Eps         float64
+	CleanBatch  int
+	AdvBatch    int
+	SuccessRate float64
+	Layers      []Fig1Layer
+}
+
+// Figure1 runs the case study.
+func Figure1(opts Options) (*Fig1Result, error) {
+	env, err := LoadEnv("CS", opts)
+	if err != nil {
+		return nil, err
+	}
+	const eps = 0.1
+	batch := 150
+	if opts.Quick {
+		batch = 40
+	}
+	target := env.Scn.TargetClass // 'bird'
+
+	// Clean batch: generated bird images (the paper uses 1000; scaled).
+	birdPool := data.MustSynth(env.Scn.Dataset, env.Scn.Seed^0x1111, 0, batch)
+	var clean []data.Sample
+	for _, s := range birdPool.Test {
+		if s.Label == target {
+			clean = append(clean, s)
+		}
+	}
+
+	// Adversarial batch: other categories perturbed toward 'bird'.
+	atk := attack.NewTargetedFGSM(eps, target)
+	sources := env.attackSources(true, 3*batch)
+	crafted := attack.Craft(env.Model, atk, sources)
+	advs := attack.Successful(atk, crafted)
+	if len(advs) > batch {
+		advs = advs[:batch]
+	}
+	if len(advs) < 10 {
+		return nil, fmt.Errorf("experiments: only %d successful AEs for Figure 1", len(advs))
+	}
+
+	freqsOf := func(samples []data.Sample) [][]float64 {
+		relus := env.Model.ReLULayers()
+		counts := make([][]float64, len(relus))
+		for li, r := range relus {
+			li, r := li, r
+			r.Record = func(out *tensor.Tensor) {
+				if counts[li] == nil {
+					counts[li] = make([]float64, out.Len())
+				}
+				for i, v := range out.Data() {
+					if v > 0 {
+						counts[li][i]++
+					}
+				}
+			}
+		}
+		defer func() {
+			for _, r := range relus {
+				r.Record = nil
+			}
+		}()
+		for _, s := range samples {
+			env.Model.Predict(s.X)
+		}
+		for li := range counts {
+			for i := range counts[li] {
+				counts[li][i] /= float64(len(samples))
+			}
+		}
+		return counts
+	}
+
+	cleanFreq := freqsOf(clean)
+	advFreq := freqsOf(advs)
+
+	res := &Fig1Result{
+		Eps:         eps,
+		CleanBatch:  len(clean),
+		AdvBatch:    len(advs),
+		SuccessRate: crafted.SuccessRate,
+	}
+	relus := env.Model.ReLULayers()
+	for li := range cleanFreq {
+		cf, af := cleanFreq[li], advFreq[li]
+		div := 0.0
+		for i := range cf {
+			d := cf[i] - af[i]
+			if d < 0 {
+				d = -d
+			}
+			div += d
+		}
+		div /= float64(len(cf))
+		res.Layers = append(res.Layers, Fig1Layer{
+			Layer:         fmt.Sprintf("activation #%d (%s)", li+1, relus[li].Name()),
+			MeanFreqClean: metrics.Summarize(cf).Mean,
+			MeanFreqAdv:   metrics.Summarize(af).Mean,
+			Divergence:    div,
+			Overlap:       metrics.OverlapCoefficient(cf, af, 20),
+		})
+	}
+	return res, nil
+}
+
+// Render writes the per-layer summary.
+func (r *Fig1Result) Render(w io.Writer) {
+	heading(w, "Figure 1: Activated-neuron distributions, clean 'bird' vs targeted-FGSM AEs (ε=%g)", r.Eps)
+	fmt.Fprintf(w, "clean batch %d, adversarial batch %d (attack success %.0f%%)\n",
+		r.CleanBatch, r.AdvBatch, 100*r.SuccessRate)
+	t := newTable("Activation layer", "mean freq (clean)", "mean freq (AE)", "per-neuron divergence", "distribution overlap")
+	for _, l := range r.Layers {
+		t.addf(l.Layer, fmt.Sprintf("%.3f", l.MeanFreqClean), fmt.Sprintf("%.3f", l.MeanFreqAdv),
+			fmt.Sprintf("%.4f", l.Divergence), fmt.Sprintf("%.3f", l.Overlap))
+	}
+	t.render(w)
+	fmt.Fprintln(w, "Reading: higher divergence / lower overlap = the layer's neurons fire in a")
+	fmt.Fprintln(w, "distinctly different pattern for AEs than for clean inputs of the same class.")
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Renderable is any experiment result that can print itself.
+type Renderable interface {
+	Render(w io.Writer)
+}
+
+// Entry describes one runnable experiment.
+type Entry struct {
+	ID          string
+	Description string
+	Run         func(opts Options) (Renderable, error)
+}
+
+// wrap adapts a typed experiment function to the registry signature.
+func wrap[T Renderable](f func(Options) (T, error)) func(Options) (Renderable, error) {
+	return func(opts Options) (Renderable, error) {
+		r, err := f(opts)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+}
+
+// Registry maps experiment IDs to their runners — one per table/figure of
+// the paper plus the beyond-the-paper ablations.
+var Registry = map[string]Entry{
+	"table1": {"table1", "Evaluation scenarios and clean accuracies (Table 1)", wrap(Table1)},
+	"fig1":   {"fig1", "Activated-neuron distributions, clean vs AEs (Figure 1)", wrap(Figure1)},
+	"fig3":   {"fig3", "Core HPC event distributions under targeted FGSM (Figure 3)", wrap(Figure3)},
+	"table2": {"table2", "Per-category detection across core events (Table 2)", wrap(Table2)},
+	"fig4":   {"fig4", "Attack effectiveness and detection across attacks/scenarios (Figure 4)", wrap(Figure4)},
+	"fig5":   {"fig5", "Cache sub-event distributions under untargeted FGSM (Figure 5)", wrap(Figure5)},
+	"table3": {"table3", "F1 per cache-miss sub-event vs attack strength (Table 3)", wrap(Table3)},
+	"fig6":   {"fig6", "F1 vs validation-set size with resampling (Figure 6)", wrap(Figure6)},
+
+	"ablation-replacement": {"ablation-replacement", "LLC replacement-policy sweep (extension)", wrap(AblationReplacement)},
+	"ablation-prefetch":    {"ablation-prefetch", "L1D prefetcher sweep (extension)", wrap(AblationPrefetch)},
+	"ablation-quant":       {"ablation-quant", "Tensor storage-precision sweep (extension)", wrap(AblationQuant)},
+	"ablation-branchy":     {"ablation-branchy", "SIMD vs scalar kernels: branch-miss leakage (extension)", wrap(AblationBranchy)},
+	"ablation-noise":       {"ablation-noise", "Measurement-noise × repetition-count sweep (extension)", wrap(AblationNoise)},
+	"ablation-detectors":   {"ablation-detectors", "Detector variants and baselines (extension)", wrap(AblationDetectors)},
+	"ablation-corunner":    {"ablation-corunner", "Shared-LLC co-runner contention sweep (extension)", wrap(AblationCoRunner)},
+	"control-noise":        {"control-noise", "Random-noise control: noisy ≠ adversarial (extension)", wrap(ControlNoise)},
+	"adaptive-attacker":    {"adaptive-attacker", "AdvHunter-aware adaptive attacker sweep (extension)", wrap(AblationAdaptive)},
+}
+
+// IDs returns the registered experiment identifiers in stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by ID and renders it to w.
+func Run(id string, opts Options, w io.Writer) error {
+	e, ok := Registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	res, err := e.Run(opts)
+	if err != nil {
+		return err
+	}
+	res.Render(w)
+	return nil
+}
+
+// RunJSON executes one experiment and writes its result as indented JSON —
+// the machine-readable counterpart of Run.
+func RunJSON(id string, opts Options, w io.Writer) error {
+	e, ok := Registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	res, err := e.Run(opts)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"experiment": id, "result": res})
+}

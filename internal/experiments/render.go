@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// table is a minimal fixed-width text-table renderer for experiment output.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+// newTable starts a table with the given column headers.
+func newTable(header ...string) *table { return &table{header: header} }
+
+// add appends a row; cells are formatted with %v.
+func (t *table) add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// addf appends a row of pre-formatted cells.
+func (t *table) addf(cells ...string) { t.rows = append(t.rows, cells) }
+
+// render writes the table.
+func (t *table) render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	rule := make([]string, len(t.header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// pct formats a ratio as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
+
+// f4 formats a score with four decimals (the paper's F1 precision).
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// heading prints an underlined section heading.
+func heading(w io.Writer, format string, args ...any) {
+	s := fmt.Sprintf(format, args...)
+	fmt.Fprintf(w, "\n%s\n%s\n", s, strings.Repeat("=", len(s)))
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"advhunter/internal/core"
+	"advhunter/internal/engine"
+	"advhunter/internal/metrics"
+	"advhunter/internal/uarch/hpc"
+)
+
+// Variant is an alternative measurement stack (machine model and/or noise
+// protocol) used by the ablation experiments. Tag must uniquely identify the
+// configuration — it keys the on-disk measurement caches.
+type Variant struct {
+	Tag     string
+	Machine engine.MachineConfig
+	Noise   hpc.NoiseModel
+	R       int
+}
+
+// DefaultVariant mirrors the main experiments' stack.
+func DefaultVariant() Variant {
+	return Variant{
+		Tag:     "default",
+		Machine: engine.DefaultMachineConfig(),
+		Noise:   hpc.DefaultNoise(),
+		R:       10,
+	}
+}
+
+// measurer builds the variant's measurement stack for the environment's
+// model.
+func (e *Env) variantMeasurer(v Variant) *core.Measurer {
+	return &core.Measurer{
+		Engine:  engine.New(e.Model, v.Machine),
+		Sampler: hpc.NewSampler(v.Noise, e.Scn.Seed^0xbeef),
+		R:       v.R,
+	}
+}
+
+// VariantEvaluation measures validation pool, clean test set and the given
+// attack's AEs on the variant stack, fits a detector, and returns the
+// confusion for the requested event. All measurement passes are cached under
+// the variant tag.
+func (e *Env) VariantEvaluation(v Variant, spec AttackSpec, nSources int, event hpc.Event) (metrics.Confusion, error) {
+	meas := e.variantMeasurer(v)
+	valMeas, err := e.measureCached(meas, "validation-"+v.Tag, e.ValidationPool())
+	if err != nil {
+		return metrics.Confusion{}, err
+	}
+	tpl := TemplateFromMeasurements(valMeas, e.DS.Classes, e.Scn.TemplateM, hpc.AllEvents())
+	det, err := core.Fit(tpl, core.DefaultConfig())
+	if err != nil {
+		return metrics.Confusion{}, err
+	}
+	testMeas, err := e.measureCached(meas, "test-clean-"+v.Tag, e.DS.Test)
+	if err != nil {
+		return metrics.Confusion{}, err
+	}
+	var clean []core.Measurement
+	for _, m := range testMeas {
+		if spec.Targeted {
+			if m.Pred == e.Scn.TargetClass && m.TrueLabel == e.Scn.TargetClass {
+				clean = append(clean, m)
+			}
+		} else if m.Pred == m.TrueLabel {
+			clean = append(clean, m)
+		}
+	}
+	set, err := e.Craft(spec, nSources)
+	if err != nil {
+		return metrics.Confusion{}, err
+	}
+	aeMeas, err := e.measureCached(meas, fmt.Sprintf("ae-%s-n%d-%s", spec.Key(), nSources, v.Tag), fromDTOs(set.Successful))
+	if err != nil {
+		return metrics.Confusion{}, err
+	}
+	return core.EvaluateEvent(det, event, clean, aeMeas), nil
+}
+
+// TruthMeasurements returns noise-free per-image counter snapshots for the
+// named sample set ("validation", "test", or an attack key), used by the
+// noise-protocol ablation to re-sample measurement noise without re-running
+// the simulator.
+func (e *Env) TruthMeasurements(which string, spec AttackSpec, nSources int) ([]core.Measurement, error) {
+	truthMeas := &core.Measurer{
+		Engine:  engine.NewDefault(e.Model),
+		Sampler: hpc.NewSampler(hpc.NoiseModel{}, 0),
+		R:       1,
+	}
+	switch which {
+	case "validation":
+		return e.measureCached(truthMeas, "validation-truth", e.ValidationPool())
+	case "test":
+		return e.measureCached(truthMeas, "test-clean-truth", e.DS.Test)
+	case "attack":
+		set, err := e.Craft(spec, nSources)
+		if err != nil {
+			return nil, err
+		}
+		return e.measureCached(truthMeas, fmt.Sprintf("ae-%s-n%d-truth", spec.Key(), nSources), fromDTOs(set.Successful))
+	default:
+		panic("experiments: unknown truth set " + which)
+	}
+}
+
+// resampleNoise applies a measurement protocol (noise model + repeat count)
+// to truth measurements, producing what a defender running that protocol
+// would record.
+func resampleNoise(truth []core.Measurement, noise hpc.NoiseModel, repeats int, seed uint64) []core.Measurement {
+	s := hpc.NewSampler(noise, seed)
+	out := make([]core.Measurement, len(truth))
+	for i, m := range truth {
+		out[i] = core.Measurement{Pred: m.Pred, TrueLabel: m.TrueLabel, Counts: s.MeasureMean(m.Counts, repeats)}
+	}
+	return out
+}
+
+// engineCoRunner builds a co-runner config (helper for the ablation grids).
+func engineCoRunner(everyN, burst int) engine.CoRunnerConfig {
+	return engine.CoRunnerConfig{EveryN: everyN, Burst: burst, FootprintB: 1 << 20, Seed: 7}
+}

@@ -1,0 +1,260 @@
+package gmm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"advhunter/internal/rng"
+)
+
+// sampleMixture draws n points from the given mixture.
+func sampleMixture(seed uint64, n int, weights, means, stds []float64) []float64 {
+	r := rng.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		k := r.Choice(weights)
+		out[i] = r.Normal(means[k], stds[k])
+	}
+	return out
+}
+
+func TestFitSingleGaussian(t *testing.T) {
+	data := sampleMixture(1, 4000, []float64{1}, []float64{5}, []float64{2})
+	m, err := Fit(data, 1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Means[0]-5) > 0.15 {
+		t.Fatalf("mean %v, want ~5", m.Means[0])
+	}
+	if math.Abs(math.Sqrt(m.Vars[0])-2) > 0.15 {
+		t.Fatalf("std %v, want ~2", math.Sqrt(m.Vars[0]))
+	}
+}
+
+func TestFitBimodal(t *testing.T) {
+	data := sampleMixture(2, 4000, []float64{0.4, 0.6}, []float64{-4, 6}, []float64{1, 1.5})
+	m, err := Fit(data, 2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := m.Means[0], m.Means[1]
+	wLo, wHi := m.Weights[0], m.Weights[1]
+	if lo > hi {
+		lo, hi = hi, lo
+		wLo, wHi = wHi, wLo
+	}
+	if math.Abs(lo+4) > 0.3 || math.Abs(hi-6) > 0.3 {
+		t.Fatalf("means %v/%v, want ~-4/6", lo, hi)
+	}
+	if math.Abs(wLo-0.4) > 0.05 || math.Abs(wHi-0.6) > 0.05 {
+		t.Fatalf("weights %v/%v, want ~0.4/0.6", wLo, wHi)
+	}
+}
+
+func TestBICSelectsComponentCount(t *testing.T) {
+	uni := sampleMixture(3, 2000, []float64{1}, []float64{0}, []float64{1})
+	m1, err := FitBest(uni, 4, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.K() != 1 {
+		t.Fatalf("BIC chose K=%d for unimodal data", m1.K())
+	}
+	bi := sampleMixture(4, 2000, []float64{0.5, 0.5}, []float64{-6, 6}, []float64{1, 1})
+	m2, err := FitBest(bi, 4, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.K() != 2 {
+		t.Fatalf("BIC chose K=%d for clearly bimodal data", m2.K())
+	}
+}
+
+// Property: fitted weights form a distribution and variances stay positive.
+func TestFitInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		data := sampleMixture(seed, 300, []float64{0.3, 0.7}, []float64{0, 8}, []float64{1, 2})
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		m, err := Fit(data, 2, cfg)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for k := range m.Weights {
+			if m.Weights[k] < 0 || m.Vars[k] <= 0 {
+				return false
+			}
+			sum += m.Weights[k]
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EM never decreases data likelihood relative to its seeding —
+// verified indirectly: the fitted model explains the data at least as well
+// as the best single-Gaussian fit minus tolerance.
+func TestFitBeatsOrMatchesSingleGaussian(t *testing.T) {
+	data := sampleMixture(5, 1500, []float64{0.5, 0.5}, []float64{-3, 3}, []float64{1, 1})
+	m1, err := Fit(data, 1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Fit(data, 2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.TotalLogLikelihood(data) < m1.TotalLogLikelihood(data)-1e-6 {
+		t.Fatal("richer mixture explains data worse than single Gaussian")
+	}
+}
+
+func TestFitDeterministicBySeed(t *testing.T) {
+	data := sampleMixture(6, 500, []float64{0.5, 0.5}, []float64{0, 10}, []float64{1, 1})
+	cfg := DefaultConfig()
+	a, _ := Fit(data, 2, cfg)
+	b, _ := Fit(data, 2, cfg)
+	for k := range a.Weights {
+		if a.Means[k] != b.Means[k] || a.Vars[k] != b.Vars[k] || a.Weights[k] != b.Weights[k] {
+			t.Fatal("equal seeds produced different fits")
+		}
+	}
+}
+
+func TestFitConstantData(t *testing.T) {
+	data := make([]float64, 50)
+	for i := range data {
+		data[i] = 42
+	}
+	m, err := Fit(data, 1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Means[0]-42) > 1e-9 {
+		t.Fatalf("constant-data mean %v", m.Means[0])
+	}
+	if ll := m.LogLikelihood(42); math.IsNaN(ll) || math.IsInf(ll, -1) {
+		t.Fatalf("degenerate likelihood %v", ll)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]float64{1, 2}, 5, DefaultConfig()); err == nil {
+		t.Fatal("expected error: more components than points")
+	}
+	if _, err := Fit([]float64{1, 2, 3}, 0, DefaultConfig()); err == nil {
+		t.Fatal("expected error: zero components")
+	}
+}
+
+func TestNegLogLikelihoodOrdersAnomalies(t *testing.T) {
+	data := sampleMixture(7, 2000, []float64{1}, []float64{0}, []float64{1})
+	m, err := Fit(data, 1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NegLogLikelihood(0) >= m.NegLogLikelihood(5) {
+		t.Fatal("in-distribution point scored more anomalous than outlier")
+	}
+	if m.NegLogLikelihood(5) >= m.NegLogLikelihood(20) {
+		t.Fatal("NLL not monotone in distance from the mode")
+	}
+}
+
+func TestLogSumExpStability(t *testing.T) {
+	v := []float64{-1e308, -1e308, -1e308}
+	if got := logSumExp(v); math.IsNaN(got) {
+		t.Fatal("logSumExp NaN on tiny terms")
+	}
+	v2 := []float64{700, 710, 705}
+	if got := logSumExp(v2); math.IsInf(got, 1) || got < 710 {
+		t.Fatalf("logSumExp large terms: %v", got)
+	}
+}
+
+func TestMultiFitRecoversClusters(t *testing.T) {
+	r := rng.New(8)
+	var pts [][]float64
+	for i := 0; i < 1500; i++ {
+		if r.Float64() < 0.5 {
+			pts = append(pts, []float64{r.Normal(0, 1), r.Normal(0, 1)})
+		} else {
+			pts = append(pts, []float64{r.Normal(10, 1), r.Normal(-5, 1)})
+		}
+	}
+	m, err := FitMulti(pts, 2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One mean near (0,0), the other near (10,-5).
+	near := func(mu []float64, x, y float64) bool {
+		return math.Abs(mu[0]-x) < 0.5 && math.Abs(mu[1]-y) < 0.5
+	}
+	ok := (near(m.Means[0], 0, 0) && near(m.Means[1], 10, -5)) ||
+		(near(m.Means[1], 0, 0) && near(m.Means[0], 10, -5))
+	if !ok {
+		t.Fatalf("means %v", m.Means)
+	}
+}
+
+func TestMultiBICSelection(t *testing.T) {
+	r := rng.New(9)
+	var pts [][]float64
+	for i := 0; i < 1000; i++ {
+		pts = append(pts, []float64{r.Normal(3, 1), r.Normal(3, 1), r.Normal(3, 1)})
+	}
+	m, err := FitBestMulti(pts, 3, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 1 {
+		t.Fatalf("BIC chose K=%d for one 3-D cluster", m.K())
+	}
+}
+
+func TestMultiRejectsRaggedData(t *testing.T) {
+	if _, err := FitMulti([][]float64{{1, 2}, {3}}, 1, DefaultConfig()); err == nil {
+		t.Fatal("expected error on ragged data")
+	}
+	if _, err := FitMulti(nil, 1, DefaultConfig()); err == nil {
+		t.Fatal("expected error on empty data")
+	}
+}
+
+func TestMultiNLLOrdersAnomalies(t *testing.T) {
+	r := rng.New(10)
+	var pts [][]float64
+	for i := 0; i < 800; i++ {
+		pts = append(pts, []float64{r.Normal(0, 1), r.Normal(0, 1)})
+	}
+	m, err := FitMulti(pts, 1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NegLogLikelihood([]float64{0, 0}) >= m.NegLogLikelihood([]float64{8, 8}) {
+		t.Fatal("multivariate NLL ordering broken")
+	}
+}
+
+func BenchmarkFitK2(b *testing.B) {
+	data := sampleMixture(1, 200, []float64{0.5, 0.5}, []float64{0, 10}, []float64{1, 1})
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Fit(data, 2, cfg)
+	}
+}
+
+func BenchmarkFitBest(b *testing.B) {
+	data := sampleMixture(1, 100, []float64{0.5, 0.5}, []float64{0, 10}, []float64{1, 1})
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = FitBest(data, 5, cfg)
+	}
+}

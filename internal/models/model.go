@@ -1,0 +1,204 @@
+// Package models provides the CNN zoo used by the evaluation scenarios:
+// the 4-conv case-study network of the paper's Figure 1 plus scaled-down
+// ("lite") versions of the EfficientNet, ResNet-18, DenseNet and GoogLeNet
+// families. Widths and depths are reduced so that pure-Go single-core
+// training converges in seconds-to-minutes, while each family keeps its
+// characteristic block structure (MBConv + squeeze-excite, residual basic
+// blocks, dense concatenation growth, inception branches) so the
+// instrumented engine exercises the same data-flow shapes as the originals.
+package models
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"advhunter/internal/nn"
+	"advhunter/internal/tensor"
+)
+
+// Meta records the input/output contract of a model.
+type Meta struct {
+	Arch    string
+	InC     int
+	InH     int
+	InW     int
+	Classes int
+}
+
+// Model is a named network with its input/output metadata.
+type Model struct {
+	Meta Meta
+	Net  *nn.Sequential
+}
+
+// Logits runs an inference-mode forward pass over a batch [N,C,H,W].
+func (m *Model) Logits(x *tensor.Tensor) *tensor.Tensor {
+	return m.Net.Forward(x, false)
+}
+
+// Predict classifies a single image [C,H,W] and returns the hard label —
+// exactly the access a hard-label black-box defender has.
+func (m *Model) Predict(x *tensor.Tensor) int {
+	batch := x.Reshape(1, m.Meta.InC, m.Meta.InH, m.Meta.InW)
+	return m.Logits(batch).Argmax()
+}
+
+// PredictBatch classifies a batch and returns per-row hard labels.
+func (m *Model) PredictBatch(x *tensor.Tensor) []int {
+	logits := m.Logits(x)
+	n, c := logits.Dim(0), logits.Dim(1)
+	out := make([]int, n)
+	ld := logits.Data()
+	for i := 0; i < n; i++ {
+		best, bestV := 0, ld[i*c]
+		for j := 1; j < c; j++ {
+			if ld[i*c+j] > bestV {
+				best, bestV = j, ld[i*c+j]
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// state is the serialised form of a model: architecture metadata plus every
+// tensor keyed by a unique name.
+type state struct {
+	Meta    Meta
+	Tensors map[string][]float64
+}
+
+// stateTensors enumerates every persistent tensor of the model: trainable
+// parameters plus batch-norm running statistics. Keys are unique because
+// layer labels are unique within each architecture.
+func (m *Model) stateTensors() map[string]*tensor.Tensor {
+	ts := make(map[string]*tensor.Tensor)
+	for _, p := range m.Net.Params() {
+		if _, dup := ts[p.Name]; dup {
+			panic(fmt.Sprintf("models: duplicate parameter name %q in %s", p.Name, m.Meta.Arch))
+		}
+		ts[p.Name] = p.Value
+	}
+	m.Net.Walk(func(l nn.Layer) {
+		if bn, ok := l.(*nn.BatchNorm2D); ok {
+			ts[bn.Name()+".running_mean"] = bn.RunningMean
+			ts[bn.Name()+".running_var"] = bn.RunningVar
+		}
+	})
+	return ts
+}
+
+// Save serialises the model parameters to path (gob format), creating parent
+// directories as needed.
+func (m *Model) Save(path string) error {
+	st := state{Meta: m.Meta, Tensors: make(map[string][]float64)}
+	for name, t := range m.stateTensors() {
+		st.Tensors[name] = append([]float64(nil), t.Data()...)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return fmt.Errorf("models: encoding %s: %w", m.Meta.Arch, err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// Load restores parameters saved by Save into an architecture-compatible
+// model (the model must already be constructed with matching Meta).
+func (m *Model) Load(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var st state
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&st); err != nil {
+		return fmt.Errorf("models: decoding %s: %w", path, err)
+	}
+	if st.Meta != m.Meta {
+		return fmt.Errorf("models: checkpoint meta %+v does not match model %+v", st.Meta, m.Meta)
+	}
+	ts := m.stateTensors()
+	if len(ts) != len(st.Tensors) {
+		return fmt.Errorf("models: checkpoint has %d tensors, model has %d", len(st.Tensors), len(ts))
+	}
+	for name, t := range ts {
+		data, ok := st.Tensors[name]
+		if !ok {
+			return fmt.Errorf("models: checkpoint missing tensor %q", name)
+		}
+		if len(data) != t.Len() {
+			return fmt.Errorf("models: tensor %q has %d values, want %d", name, len(data), t.Len())
+		}
+		copy(t.Data(), data)
+	}
+	return nil
+}
+
+// ParamCount returns the total number of trainable scalars.
+func (m *Model) ParamCount() int {
+	n := 0
+	for _, p := range m.Net.Params() {
+		n += p.Value.Len()
+	}
+	return n
+}
+
+// ReLULayers returns the model's ReLU layers in network order; the Figure-1
+// activation study attaches recorders to them.
+func (m *Model) ReLULayers() []*nn.ReLU {
+	var rs []*nn.ReLU
+	m.Net.Walk(func(l nn.Layer) {
+		if r, ok := l.(*nn.ReLU); ok {
+			rs = append(rs, r)
+		}
+	})
+	return rs
+}
+
+// Architectures lists the registered architecture names in sorted order.
+func Architectures() []string {
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// builder constructs a freshly initialised model.
+type builder func(meta Meta, seed uint64) *Model
+
+var builders = map[string]builder{
+	"simplecnn":    buildSimpleCNN,
+	"efficientnet": buildEfficientNetLite,
+	"resnet18":     buildResNet18Lite,
+	"densenet":     buildDenseNetLite,
+	"googlenet":    buildGoogLeNetLite,
+}
+
+// Build constructs an initialised model of the named architecture for the
+// given input geometry and class count. The seed fully determines the
+// initial weights.
+func Build(arch string, inC, inH, inW, classes int, seed uint64) (*Model, error) {
+	b, ok := builders[arch]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown architecture %q (have %v)", arch, Architectures())
+	}
+	meta := Meta{Arch: arch, InC: inC, InH: inH, InW: inW, Classes: classes}
+	return b(meta, seed), nil
+}
+
+// MustBuild is Build for static architecture names; it panics on error.
+func MustBuild(arch string, inC, inH, inW, classes int, seed uint64) *Model {
+	m, err := Build(arch, inC, inH, inW, classes, seed)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

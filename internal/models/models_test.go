@@ -1,0 +1,210 @@
+package models
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"advhunter/internal/nn"
+	"advhunter/internal/rng"
+	"advhunter/internal/tensor"
+)
+
+// scenarios mirrors the paper's Table 1 input geometries.
+var testGeometries = []struct {
+	name               string
+	inC, inH, inW, cls int
+}{
+	{"fmnist", 1, 28, 28, 10},
+	{"cifar", 3, 32, 32, 10},
+	{"gtsrb", 3, 32, 32, 43},
+}
+
+func TestEveryArchitectureForwardShape(t *testing.T) {
+	for _, arch := range Architectures() {
+		for _, g := range testGeometries {
+			m := MustBuild(arch, g.inC, g.inH, g.inW, g.cls, 7)
+			x := tensor.New(2, g.inC, g.inH, g.inW)
+			rng.New(1).FillUniform(x.Data(), 0, 1)
+			logits := m.Logits(x)
+			if logits.Dim(0) != 2 || logits.Dim(1) != g.cls {
+				t.Fatalf("%s/%s logits shape %v, want [2 %d]", arch, g.name, logits.Shape(), g.cls)
+			}
+			for _, v := range logits.Data() {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s/%s produced non-finite logits", arch, g.name)
+				}
+			}
+		}
+	}
+}
+
+func TestEveryArchitectureBackward(t *testing.T) {
+	for _, arch := range Architectures() {
+		m := MustBuild(arch, 3, 32, 32, 10, 3)
+		x := tensor.New(2, 3, 32, 32)
+		rng.New(2).FillUniform(x.Data(), 0, 1)
+		logits := m.Net.Forward(x, true)
+		_, grad := nn.SoftmaxCrossEntropy(logits, []int{1, 7})
+		dx := m.Net.Backward(grad)
+		if !dx.SameShape(x) {
+			t.Fatalf("%s input gradient shape %v", arch, dx.Shape())
+		}
+		nonzero := dx.CountIf(func(v float64) bool { return v != 0 })
+		if nonzero == 0 {
+			t.Fatalf("%s produced an all-zero input gradient", arch)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := MustBuild("resnet18", 3, 32, 32, 10, 42)
+	b := MustBuild("resnet18", 3, 32, 32, 10, 42)
+	pa, pb := a.Net.Params(), b.Net.Params()
+	if len(pa) != len(pb) {
+		t.Fatal("param lists differ")
+	}
+	for i := range pa {
+		if !tensor.Equal(pa[i].Value, pb[i].Value, 0) {
+			t.Fatalf("param %s differs between equal-seed builds", pa[i].Name)
+		}
+	}
+	c := MustBuild("resnet18", 3, 32, 32, 10, 43)
+	if tensor.Equal(pa[0].Value, c.Net.Params()[0].Value, 0) {
+		t.Fatal("different seeds produced identical weights")
+	}
+}
+
+func TestUnknownArchitecture(t *testing.T) {
+	if _, err := Build("vgg", 3, 32, 32, 10, 1); err == nil {
+		t.Fatal("expected error for unknown architecture")
+	}
+}
+
+func TestPredictMatchesLogits(t *testing.T) {
+	m := MustBuild("simplecnn", 1, 28, 28, 10, 5)
+	x := tensor.New(1, 28, 28)
+	rng.New(3).FillUniform(x.Data(), 0, 1)
+	pred := m.Predict(x)
+	logits := m.Logits(x.Clone().Reshape(1, 1, 28, 28))
+	if pred != logits.Argmax() {
+		t.Fatal("Predict disagrees with Logits argmax")
+	}
+	if pred < 0 || pred >= 10 {
+		t.Fatalf("prediction %d out of range", pred)
+	}
+}
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	m := MustBuild("googlenet", 3, 32, 32, 10, 6)
+	const n = 4
+	x := tensor.New(n, 3, 32, 32)
+	rng.New(4).FillUniform(x.Data(), 0, 1)
+	batch := m.PredictBatch(x)
+	for i := 0; i < n; i++ {
+		single := tensor.FromSlice(x.Data()[i*3*32*32:(i+1)*3*32*32], 3, 32, 32)
+		if got := m.Predict(single); got != batch[i] {
+			t.Fatalf("row %d: PredictBatch %d vs Predict %d", i, batch[i], got)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt", "model.gob")
+	m := MustBuild("efficientnet", 1, 28, 28, 10, 11)
+	// Perturb a batch-norm running stat so we verify non-param state travels.
+	var bn *nn.BatchNorm2D
+	m.Net.Walk(func(l nn.Layer) {
+		if b, ok := l.(*nn.BatchNorm2D); ok && bn == nil {
+			bn = b
+		}
+	})
+	bn.RunningMean.Fill(0.25)
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	m2 := MustBuild("efficientnet", 1, 28, 28, 10, 99) // different init
+	if err := m2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 1, 28, 28)
+	rng.New(5).FillUniform(x.Data(), 0, 1)
+	if !tensor.Equal(m.Logits(x.Clone()), m2.Logits(x.Clone()), 1e-12) {
+		t.Fatal("loaded model computes different logits")
+	}
+}
+
+func TestLoadRejectsWrongMeta(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.gob")
+	m := MustBuild("simplecnn", 1, 28, 28, 10, 1)
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	other := MustBuild("simplecnn", 3, 32, 32, 10, 1)
+	if err := other.Load(path); err == nil {
+		t.Fatal("expected meta mismatch error")
+	}
+}
+
+func TestParamCountPositiveAndUnique(t *testing.T) {
+	for _, arch := range Architectures() {
+		m := MustBuild(arch, 3, 32, 32, 10, 1)
+		if m.ParamCount() == 0 {
+			t.Fatalf("%s has no parameters", arch)
+		}
+		seen := map[string]bool{}
+		for _, p := range m.Net.Params() {
+			if seen[p.Name] {
+				t.Fatalf("%s has duplicate parameter name %s", arch, p.Name)
+			}
+			seen[p.Name] = true
+		}
+	}
+}
+
+func TestReLULayersNonEmpty(t *testing.T) {
+	for _, arch := range Architectures() {
+		m := MustBuild(arch, 3, 32, 32, 10, 1)
+		if len(m.ReLULayers()) == 0 {
+			t.Fatalf("%s exposes no ReLU layers", arch)
+		}
+	}
+}
+
+func TestSimpleCNNHasFourConvTwoFC(t *testing.T) {
+	m := MustBuild("simplecnn", 3, 32, 32, 10, 1)
+	convs, fcs := 0, 0
+	m.Net.Walk(func(l nn.Layer) {
+		switch l.(type) {
+		case *nn.Conv2D:
+			convs++
+		case *nn.Linear:
+			fcs++
+		}
+	})
+	if convs != 4 || fcs != 2 {
+		t.Fatalf("case-study CNN has %d convs and %d FCs, want 4 and 2", convs, fcs)
+	}
+}
+
+func BenchmarkResNet18Forward(b *testing.B) {
+	m := MustBuild("resnet18", 3, 32, 32, 10, 1)
+	x := tensor.New(1, 3, 32, 32)
+	rng.New(1).FillUniform(x.Data(), 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Logits(x)
+	}
+}
+
+func BenchmarkSimpleCNNForward(b *testing.B) {
+	m := MustBuild("simplecnn", 3, 32, 32, 10, 1)
+	x := tensor.New(1, 3, 32, 32)
+	rng.New(1).FillUniform(x.Data(), 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Logits(x)
+	}
+}

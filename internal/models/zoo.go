@@ -1,0 +1,228 @@
+package models
+
+import (
+	"fmt"
+
+	"advhunter/internal/nn"
+	"advhunter/internal/rng"
+)
+
+// halve returns the output size of a stride-2 kernel-3 pad-1 sweep.
+func halve(n int) int { return (n-1)/2 + 1 }
+
+// buildSimpleCNN is the paper's Figure-1 case-study network: four
+// convolutional layers and two fully connected layers, each followed by ReLU
+// except the last.
+func buildSimpleCNN(meta Meta, seed uint64) *Model {
+	h2, w2 := halve(meta.InH), halve(meta.InW)
+	h4, w4 := halve(h2), halve(w2)
+	features := 16 * h4 * w4
+	net := nn.NewSequential("simplecnn",
+		nn.NewConv2D("conv1", meta.InC, 8, 3, 1, 1),
+		nn.NewReLU("relu1"),
+		nn.NewConv2D("conv2", 8, 12, 3, 2, 1),
+		nn.NewReLU("relu2"),
+		nn.NewConv2D("conv3", 12, 16, 3, 1, 1),
+		nn.NewReLU("relu3"),
+		nn.NewConv2D("conv4", 16, 16, 3, 2, 1),
+		nn.NewReLU("relu4"),
+		nn.NewFlatten("flatten"),
+		nn.NewLinear("fc1", features, 48),
+		nn.NewReLU("relu5"),
+		nn.NewLinear("fc2", 48, meta.Classes),
+	)
+	nn.InitHe(rng.New(seed), net)
+	return &Model{Meta: meta, Net: net}
+}
+
+// mbconv builds one EfficientNet-style inverted-bottleneck block:
+// 1×1 expand → BN → ReLU → depthwise 3×3 → BN → ReLU → squeeze-excite →
+// 1×1 project → BN, with an identity residual when shapes allow it.
+func mbconv(label string, inC, outC, expand, stride int) nn.Layer {
+	mid := inC * expand
+	body := nn.NewSequential(label+".body",
+		nn.NewConv2D(label+".expand", inC, mid, 1, 1, 0),
+		nn.NewBatchNorm2D(label+".bn1", mid),
+		nn.NewReLU(label+".relu1"),
+		nn.NewDepthwiseConv2D(label+".dw", mid, 3, stride, 1),
+		nn.NewBatchNorm2D(label+".bn2", mid),
+		nn.NewReLU(label+".relu2"),
+		nn.NewSqueezeExcite(label+".se", mid, max(1, mid/4)),
+		nn.NewConv2D(label+".project", mid, outC, 1, 1, 0),
+		nn.NewBatchNorm2D(label+".bn3", outC),
+	)
+	if stride == 1 && inC == outC {
+		return nn.NewResidual(label, body, nil)
+	}
+	return body // non-residual reduction block
+}
+
+// buildEfficientNetLite is a three-block MBConv network with a stride-2 stem
+// and a 1×1 head, the scaled-down analogue of EfficientNet used in
+// scenario S1.
+func buildEfficientNetLite(meta Meta, seed uint64) *Model {
+	net := nn.NewSequential("efficientnet",
+		nn.NewConv2D("stem", meta.InC, 8, 3, 2, 1),
+		nn.NewBatchNorm2D("stem.bn", 8),
+		nn.NewReLU("stem.relu"),
+		mbconv("mb1", 8, 8, 2, 1),
+		mbconv("mb2", 8, 16, 2, 2),
+		mbconv("mb3", 16, 16, 2, 1),
+		nn.NewConv2D("head", 16, 32, 1, 1, 0),
+		nn.NewBatchNorm2D("head.bn", 32),
+		nn.NewReLU("head.relu"),
+		nn.NewGlobalAvgPool("gap"),
+		nn.NewLinear("fc", 32, meta.Classes),
+	)
+	nn.InitHe(rng.New(seed), net)
+	return &Model{Meta: meta, Net: net}
+}
+
+// basicBlock builds one ResNet basic block (two 3×3 convolutions with batch
+// norm, a residual connection with 1×1 projection when the shape changes,
+// and a post-addition ReLU appended by the caller).
+func basicBlock(label string, inC, outC, stride int) nn.Layer {
+	body := nn.NewSequential(label+".body",
+		nn.NewConv2D(label+".conv1", inC, outC, 3, stride, 1),
+		nn.NewBatchNorm2D(label+".bn1", outC),
+		nn.NewReLU(label+".relu1"),
+		nn.NewConv2D(label+".conv2", outC, outC, 3, 1, 1),
+		nn.NewBatchNorm2D(label+".bn2", outC),
+	)
+	var shortcut nn.Layer
+	if stride != 1 || inC != outC {
+		shortcut = nn.NewSequential(label+".shortcut",
+			nn.NewConv2D(label+".proj", inC, outC, 1, stride, 0),
+			nn.NewBatchNorm2D(label+".projbn", outC),
+		)
+	}
+	return nn.NewResidual(label, body, shortcut)
+}
+
+// buildResNet18Lite keeps ResNet-18's [2,2,2,2] basic-block layout at
+// reduced widths; used in scenario S2.
+func buildResNet18Lite(meta Meta, seed uint64) *Model {
+	widths := []int{8, 12, 16, 24}
+	net := nn.NewSequential("resnet18",
+		nn.NewConv2D("stem", meta.InC, widths[0], 3, 2, 1),
+		nn.NewBatchNorm2D("stem.bn", widths[0]),
+		nn.NewReLU("stem.relu"),
+	)
+	inC := widths[0]
+	for stage, w := range widths {
+		stride := 1
+		if stage > 0 {
+			stride = 2
+		}
+		for blk := 0; blk < 2; blk++ {
+			s := 1
+			if blk == 0 {
+				s = stride
+			}
+			label := fmt.Sprintf("s%db%d", stage+1, blk+1)
+			net.Append(basicBlock(label, inC, w, s), nn.NewReLU(label+".relu"))
+			inC = w
+		}
+	}
+	net.Append(
+		nn.NewGlobalAvgPool("gap"),
+		nn.NewLinear("fc", inC, meta.Classes),
+	)
+	nn.InitHe(rng.New(seed), net)
+	return &Model{Meta: meta, Net: net}
+}
+
+// denseUnit builds one DenseNet growth unit: BN → ReLU → 3×3 conv producing
+// `growth` channels.
+func denseUnit(label string, inC, growth int) nn.Layer {
+	return nn.NewSequential(label,
+		nn.NewBatchNorm2D(label+".bn", inC),
+		nn.NewReLU(label+".relu"),
+		nn.NewConv2D(label+".conv", inC, growth, 3, 1, 1),
+	)
+}
+
+// buildDenseNetLite keeps DenseNet's concatenation growth and transition
+// down-sampling at small scale; used in scenario S3 (the paper's
+// DenseNet201 slot).
+func buildDenseNetLite(meta Meta, seed uint64) *Model {
+	const growth = 4
+	net := nn.NewSequential("densenet",
+		nn.NewConv2D("stem", meta.InC, 8, 3, 2, 1),
+		nn.NewBatchNorm2D("stem.bn", 8),
+		nn.NewReLU("stem.relu"),
+	)
+	c := 8
+	blockUnits := []int{3, 3, 2}
+	for bi, units := range blockUnits {
+		us := make([]nn.Layer, units)
+		for ui := 0; ui < units; ui++ {
+			us[ui] = denseUnit(fmt.Sprintf("d%du%d", bi+1, ui+1), c+ui*growth, growth)
+		}
+		net.Append(nn.NewDenseBlock(fmt.Sprintf("dense%d", bi+1), us...))
+		c += units * growth
+		if bi < len(blockUnits)-1 {
+			tc := c / 2
+			tl := fmt.Sprintf("trans%d", bi+1)
+			net.Append(
+				nn.NewBatchNorm2D(tl+".bn", c),
+				nn.NewReLU(tl+".relu"),
+				nn.NewConv2D(tl+".conv", c, tc, 1, 1, 0),
+				nn.NewAvgPool2D(tl+".pool", 2, 2),
+			)
+			c = tc
+		}
+	}
+	net.Append(
+		nn.NewBatchNorm2D("final.bn", c),
+		nn.NewReLU("final.relu"),
+		nn.NewGlobalAvgPool("gap"),
+		nn.NewLinear("fc", c, meta.Classes),
+	)
+	nn.InitHe(rng.New(seed), net)
+	return &Model{Meta: meta, Net: net}
+}
+
+// inception builds one GoogLeNet-style module with four branches
+// (1×1 / 1×1→3×3 / 1×1→3×3 / pool→1×1) concatenated on channels.
+func inception(label string, inC int, c1, c3r, c3, c5r, c5, pp int) nn.Layer {
+	return nn.NewParallel(label,
+		nn.NewSequential(label+".b1",
+			nn.NewConv2D(label+".b1.conv", inC, c1, 1, 1, 0),
+			nn.NewReLU(label+".b1.relu"),
+		),
+		nn.NewSequential(label+".b2",
+			nn.NewConv2D(label+".b2.reduce", inC, c3r, 1, 1, 0),
+			nn.NewReLU(label+".b2.relu1"),
+			nn.NewConv2D(label+".b2.conv", c3r, c3, 3, 1, 1),
+			nn.NewReLU(label+".b2.relu2"),
+		),
+		nn.NewSequential(label+".b3",
+			nn.NewConv2D(label+".b3.reduce", inC, c5r, 1, 1, 0),
+			nn.NewReLU(label+".b3.relu1"),
+			nn.NewConv2D(label+".b3.conv", c5r, c5, 3, 1, 1),
+			nn.NewReLU(label+".b3.relu2"),
+		),
+		nn.NewSequential(label+".b4",
+			nn.NewMaxPool2DPadded(label+".b4.pool", 3, 1, 1),
+			nn.NewConv2D(label+".b4.conv", inC, pp, 1, 1, 0),
+			nn.NewReLU(label+".b4.relu"),
+		),
+	)
+}
+
+// buildGoogLeNetLite stacks two inception modules behind a stride-2 stem.
+func buildGoogLeNetLite(meta Meta, seed uint64) *Model {
+	net := nn.NewSequential("googlenet",
+		nn.NewConv2D("stem", meta.InC, 8, 3, 2, 1),
+		nn.NewBatchNorm2D("stem.bn", 8),
+		nn.NewReLU("stem.relu"),
+		inception("inc1", 8, 4, 4, 6, 2, 3, 3), // -> 16 channels
+		nn.NewMaxPool2D("pool1", 2, 2),
+		inception("inc2", 16, 6, 6, 8, 3, 4, 4), // -> 22 channels
+		nn.NewGlobalAvgPool("gap"),
+		nn.NewLinear("fc", 22, meta.Classes),
+	)
+	nn.InitHe(rng.New(seed), net)
+	return &Model{Meta: meta, Net: net}
+}

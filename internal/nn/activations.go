@@ -1,0 +1,176 @@
+package nn
+
+import (
+	"math"
+
+	"advhunter/internal/tensor"
+)
+
+// ReLU applies max(0, x) element-wise.
+//
+// If Record is non-nil it is invoked after every inference-mode forward pass
+// with the layer output; Figure 1 of the paper (activation-frequency
+// distributions) is produced through this hook.
+type ReLU struct {
+	label string
+	// Record, when set, observes the output of each inference-mode forward.
+	Record func(out *tensor.Tensor)
+
+	mask []bool
+}
+
+// NewReLU constructs a ReLU activation.
+func NewReLU(label string) *ReLU { return &ReLU{label: label} }
+
+// Name returns the layer label.
+func (l *ReLU) Name() string { return l.label }
+
+// Params returns nil; ReLU has no parameters.
+func (l *ReLU) Params() []*Param { return nil }
+
+// Forward zeroes negative entries and caches the pass-through mask.
+func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	l.mask = make([]bool, len(xd))
+	for i, v := range xd {
+		if v > 0 {
+			od[i] = v
+			l.mask[i] = true
+		}
+	}
+	if !train && l.Record != nil {
+		l.Record(out)
+	}
+	return out
+}
+
+// Backward passes gradients through the positive mask.
+func (l *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape()...)
+	gd, od := grad.Data(), out.Data()
+	for i, m := range l.mask {
+		if m {
+			od[i] = gd[i]
+		}
+	}
+	return out
+}
+
+// Sigmoid applies the logistic function element-wise.
+type Sigmoid struct {
+	label string
+	out   *tensor.Tensor
+}
+
+// NewSigmoid constructs a sigmoid activation.
+func NewSigmoid(label string) *Sigmoid { return &Sigmoid{label: label} }
+
+// Name returns the layer label.
+func (l *Sigmoid) Name() string { return l.label }
+
+// Params returns nil; Sigmoid has no parameters.
+func (l *Sigmoid) Params() []*Param { return nil }
+
+// Forward computes 1/(1+e^{-x}).
+func (l *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone().Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	l.out = out
+	return out
+}
+
+// Backward computes grad · σ(x)·(1−σ(x)).
+func (l *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape()...)
+	gd, od, sd := grad.Data(), out.Data(), l.out.Data()
+	for i := range gd {
+		od[i] = gd[i] * sd[i] * (1 - sd[i])
+	}
+	return out
+}
+
+// Flatten reshapes [N, ...] to [N, features].
+type Flatten struct {
+	label   string
+	inShape []int
+}
+
+// NewFlatten constructs a flattening layer.
+func NewFlatten(label string) *Flatten { return &Flatten{label: label} }
+
+// Name returns the layer label.
+func (l *Flatten) Name() string { return l.label }
+
+// Params returns nil; Flatten has no parameters.
+func (l *Flatten) Params() []*Param { return nil }
+
+// Forward collapses all non-batch dimensions.
+func (l *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.inShape = append([]int(nil), x.Shape()...)
+	features := 1
+	for _, d := range x.Shape()[1:] {
+		features *= d
+	}
+	return x.Reshape(x.Dim(0), features)
+}
+
+// Backward restores the cached input shape.
+func (l *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(l.inShape...)
+}
+
+// Dropout zeroes a fraction of activations during training and rescales the
+// rest (inverted dropout); inference is the identity.
+type Dropout struct {
+	label string
+	// Rate is the drop probability in [0, 1).
+	Rate float64
+	// Rand must be set before training-mode forward passes.
+	Rand interface{ Float64() float64 }
+
+	mask []float64
+}
+
+// NewDropout constructs a dropout layer with the given drop probability.
+func NewDropout(label string, rate float64, r interface{ Float64() float64 }) *Dropout {
+	return &Dropout{label: label, Rate: rate, Rand: r}
+}
+
+// Name returns the layer label.
+func (l *Dropout) Name() string { return l.label }
+
+// Params returns nil; Dropout has no parameters.
+func (l *Dropout) Params() []*Param { return nil }
+
+// Forward drops activations in training mode and is the identity otherwise.
+func (l *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || l.Rate == 0 {
+		l.mask = nil
+		return x
+	}
+	keep := 1 - l.Rate
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	l.mask = make([]float64, len(xd))
+	for i := range xd {
+		if l.Rand.Float64() >= l.Rate {
+			l.mask[i] = 1 / keep
+			od[i] = xd[i] / keep
+		}
+	}
+	return out
+}
+
+// Backward applies the cached mask (identity if the last forward was
+// inference-mode).
+func (l *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.mask == nil {
+		return grad
+	}
+	out := tensor.New(grad.Shape()...)
+	gd, od := grad.Data(), out.Data()
+	for i := range gd {
+		od[i] = gd[i] * l.mask[i]
+	}
+	return out
+}

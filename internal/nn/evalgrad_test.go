@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"advhunter/internal/rng"
+)
+
+// TestBatchNormEvalBackward verifies the inference-mode input gradient (the
+// path white-box attacks differentiate) against finite differences.
+func TestBatchNormEvalBackward(t *testing.T) {
+	l := NewBatchNorm2D("bn", 3)
+	rng.New(70).FillNormal(l.Gamma.Value.Data(), 1, 0.3)
+	rng.New(71).FillNormal(l.Beta.Value.Data(), 0, 0.3)
+	rng.New(72).FillNormal(l.RunningMean.Data(), 0, 0.5)
+	rng.New(73).FillUniform(l.RunningVar.Data(), 0.5, 2)
+	x := randInput(74, 2, 3, 4, 4)
+	checkInputGrad(t, l, x, false, 1e-6)
+}
+
+// TestEvalModeNetworkGradient checks the full inference-mode gradient of a
+// small batch-norm network numerically — exactly what FGSM consumes.
+func TestEvalModeNetworkGradient(t *testing.T) {
+	net := NewSequential("net",
+		NewConv2D("c1", 1, 3, 3, 1, 1),
+		NewBatchNorm2D("bn1", 3),
+		NewReLU("r1"),
+		NewFlatten("flat"),
+		NewLinear("fc", 3*5*5, 4),
+	)
+	InitHe(rng.New(75), net)
+	// Move running stats off their init so eval differs from identity.
+	warm := randInput(76, 8, 1, 5, 5)
+	_ = net.Forward(warm, true)
+
+	x := randInput(77, 1, 1, 5, 5)
+	awayFromKinks(x)
+	labels := []int{2}
+
+	lossAt := func() float64 {
+		logits := net.Forward(x, false)
+		loss, _ := SoftmaxCrossEntropy(logits, labels)
+		return loss
+	}
+	logits := net.Forward(x, false)
+	_, g := SoftmaxCrossEntropy(logits, labels)
+	dx := net.Backward(g)
+
+	const h = 1e-6
+	xd := x.Data()
+	for i := 0; i < len(xd); i += 3 {
+		orig := xd[i]
+		xd[i] = orig + h
+		lp := lossAt()
+		xd[i] = orig - h
+		lm := lossAt()
+		xd[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-dx.Data()[i]) > 1e-5*(1+math.Abs(num)) {
+			t.Fatalf("eval grad[%d]: analytic %g vs numeric %g", i, dx.Data()[i], num)
+		}
+	}
+}
+
+// TestEvalBackwardDoesNotTouchParams ensures attacks cannot corrupt training
+// state: inference-mode backward must leave parameter gradients untouched.
+func TestEvalBackwardDoesNotTouchParams(t *testing.T) {
+	l := NewBatchNorm2D("bn", 2)
+	x := randInput(78, 1, 2, 3, 3)
+	y := l.Forward(x, false)
+	_ = l.Backward(y)
+	for _, p := range l.Params() {
+		for _, v := range p.Grad.Data() {
+			if v != 0 {
+				t.Fatal("eval-mode backward accumulated parameter gradients")
+			}
+		}
+	}
+}

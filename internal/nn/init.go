@@ -1,0 +1,56 @@
+package nn
+
+import (
+	"math"
+	"strings"
+
+	"advhunter/internal/rng"
+)
+
+// InitHe fills every weight parameter of the given layers with Kaiming-He
+// normal values (std = sqrt(2 / fanIn)) and leaves biases and batch-norm
+// affine parameters at their constructed values. Parameters are visited in
+// declaration order, so a fixed seed yields identical networks.
+func InitHe(r *rng.Rand, layers ...Layer) {
+	for _, l := range layers {
+		for _, p := range l.Params() {
+			if !strings.HasSuffix(p.Name, ".W") {
+				continue
+			}
+			fanIn := fanInOf(p.Value.Shape())
+			std := math.Sqrt(2 / float64(fanIn))
+			r.FillNormal(p.Value.Data(), 0, std)
+		}
+	}
+}
+
+// fanInOf derives the fan-in from a weight shape: [out, in] for linear,
+// [outC, inC, k, k] for conv, [C, k, k] for depthwise conv.
+func fanInOf(shape []int) int {
+	switch len(shape) {
+	case 2:
+		return shape[1]
+	case 3:
+		return shape[1] * shape[2]
+	case 4:
+		return shape[1] * shape[2] * shape[3]
+	default:
+		n := 1
+		for _, d := range shape[1:] {
+			n *= d
+		}
+		if n == 0 {
+			return 1
+		}
+		return n
+	}
+}
+
+// ZeroGrads clears every parameter gradient of the given layers.
+func ZeroGrads(layers ...Layer) {
+	for _, l := range layers {
+		for _, p := range l.Params() {
+			p.ZeroGrad()
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"advhunter/internal/rng"
+	"advhunter/internal/tensor"
+)
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n, c := r.Intn(5)+1, r.Intn(8)+2
+		logits := tensor.New(n, c)
+		r.FillNormal(logits.Data(), 0, 5)
+		p := Softmax(logits)
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < c; j++ {
+				v := p.At(i, j)
+				if v < 0 || v > 1 {
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxStableForLargeLogits(t *testing.T) {
+	logits := tensor.FromSlice([]float64{1000, 1001, 999}, 1, 3)
+	p := Softmax(logits)
+	for _, v := range p.Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("softmax overflow: %v", p.Data())
+		}
+	}
+	if p.At(0, 1) <= p.At(0, 0) {
+		t.Fatal("softmax ordering broken")
+	}
+}
+
+func TestCrossEntropyKnownValue(t *testing.T) {
+	// Uniform logits over 4 classes: loss = log(4).
+	logits := tensor.New(2, 4)
+	loss, _ := SoftmaxCrossEntropy(logits, []int{0, 3})
+	if math.Abs(loss-math.Log(4)) > 1e-12 {
+		t.Fatalf("loss = %v, want log 4", loss)
+	}
+}
+
+func TestCrossEntropyGradientNumeric(t *testing.T) {
+	r := rng.New(44)
+	logits := tensor.New(3, 5)
+	r.FillNormal(logits.Data(), 0, 2)
+	labels := []int{1, 4, 0}
+	_, grad := SoftmaxCrossEntropy(logits, labels)
+
+	const h = 1e-6
+	ld := logits.Data()
+	for i := range ld {
+		orig := ld[i]
+		ld[i] = orig + h
+		lp, _ := SoftmaxCrossEntropy(logits, labels)
+		ld[i] = orig - h
+		lm, _ := SoftmaxCrossEntropy(logits, labels)
+		ld[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-grad.Data()[i]) > 1e-5 {
+			t.Fatalf("xent grad[%d]: analytic %g vs numeric %g", i, grad.Data()[i], num)
+		}
+	}
+}
+
+func TestCrossEntropyGradientSumsToZeroPerRow(t *testing.T) {
+	// Softmax-xent gradient rows sum to zero (probabilities minus one-hot).
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n, c := r.Intn(4)+1, r.Intn(6)+2
+		logits := tensor.New(n, c)
+		r.FillNormal(logits.Data(), 0, 3)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = r.Intn(c)
+		}
+		_, grad := SoftmaxCrossEntropy(logits, labels)
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < c; j++ {
+				sum += grad.At(i, j)
+			}
+			if math.Abs(sum) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossEntropyPanicsOnBadLabel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SoftmaxCrossEntropy(tensor.New(1, 3), []int{3})
+}
+
+func TestInitHeStatistics(t *testing.T) {
+	l := NewLinear("fc", 1000, 50)
+	InitHe(rng.New(45), l)
+	wd := l.W.Value.Data()
+	var sum, sq float64
+	for _, v := range wd {
+		sum += v
+		sq += v * v
+	}
+	n := float64(len(wd))
+	mean := sum / n
+	std := math.Sqrt(sq/n - mean*mean)
+	want := math.Sqrt(2.0 / 1000)
+	if math.Abs(mean) > 0.01 || math.Abs(std-want) > 0.005 {
+		t.Fatalf("He init mean %v std %v (want 0, %v)", mean, std, want)
+	}
+	// Bias must stay zero.
+	for _, v := range l.B.Value.Data() {
+		if v != 0 {
+			t.Fatal("He init touched bias")
+		}
+	}
+}
+
+func TestZeroGrads(t *testing.T) {
+	l := NewLinear("fc", 3, 2)
+	InitHe(rng.New(46), l)
+	x := tensor.New(1, 3).Fill(1)
+	y := l.Forward(x, true)
+	_ = l.Backward(y)
+	ZeroGrads(l)
+	for _, p := range l.Params() {
+		for _, v := range p.Grad.Data() {
+			if v != 0 {
+				t.Fatal("ZeroGrads left residue")
+			}
+		}
+	}
+}

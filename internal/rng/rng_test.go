@@ -1,0 +1,247 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams from equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams from distinct seeds collided %d/100 times", same)
+	}
+}
+
+func TestZeroSeedWellMixed(t *testing.T) {
+	r := New(0)
+	// A naive xoshiro seeded with all-zero state would emit zeros forever.
+	zeros := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == 0 {
+			zeros++
+		}
+	}
+	if zeros > 0 {
+		t.Fatalf("zero seed produced %d zero outputs", zeros)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		m := int(n%100) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(7)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(9)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormalScaling(t *testing.T) {
+	r := New(11)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Normal(5, 2)
+	}
+	if mean := sum / n; math.Abs(mean-5) > 0.05 {
+		t.Fatalf("Normal(5,2) mean = %v", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		m := int(n%50) + 1
+		p := New(seed).Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(3)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum2 := 0
+	for _, v := range xs {
+		sum2 += v
+	}
+	if sum != sum2 {
+		t.Fatalf("shuffle changed multiset: %v", xs)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(100)
+	a := root.Split(1)
+	b := root.Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams collided %d/100 times", same)
+	}
+}
+
+func TestChoiceRespectsWeights(t *testing.T) {
+	r := New(5)
+	w := []float64{0, 3, 1}
+	counts := make([]int, 3)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.Choice(w)]++
+	}
+	if counts[0] != 0 {
+		t.Fatalf("zero-weight bin chosen %d times", counts[0])
+	}
+	ratio := float64(counts[1]) / float64(counts[2])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestChoiceAllZeroUniform(t *testing.T) {
+	r := New(6)
+	counts := make([]int, 4)
+	for i := 0; i < 8000; i++ {
+		counts[r.Choice([]float64{0, 0, 0, 0})]++
+	}
+	for i, c := range counts {
+		if c < 1600 || c > 2400 {
+			t.Fatalf("bin %d count %d not ~uniform", i, c)
+		}
+	}
+}
+
+func TestFillHelpers(t *testing.T) {
+	r := New(8)
+	buf := make([]float64, 1000)
+	r.FillUniform(buf, -2, 2)
+	for _, v := range buf {
+		if v < -2 || v >= 2 {
+			t.Fatalf("FillUniform out of range: %v", v)
+		}
+	}
+	r.FillNormal(buf, 0, 1)
+	nonzero := 0
+	for _, v := range buf {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 990 {
+		t.Fatalf("FillNormal left too many zeros: %d", 1000-nonzero)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat64()
+	}
+}

@@ -1,0 +1,381 @@
+// Package tensor implements the dense float64 n-dimensional arrays that every
+// numerical component of the repository (layers, attacks, GMMs, the
+// instrumented engine) is built on. It deliberately stays small: row-major
+// storage, explicit shapes, and the handful of kernels a CNN stack needs
+// (matmul, im2col, elementwise arithmetic, norms, reductions). All operations
+// validate shapes and panic on misuse — shape bugs are programming errors,
+// not runtime conditions.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major array of float64 with an explicit shape.
+// The zero value is not useful; construct with New or FromSlice.
+type Tensor struct {
+	shape []int
+	data  []float64
+}
+
+// New allocates a zero-filled tensor of the given shape. Every dimension
+// must be positive.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: make([]float64, n)}
+}
+
+// FromSlice wraps data (without copying) in a tensor of the given shape.
+// len(data) must equal the shape's element count.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d elements)", len(data), shape, n))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: data}
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data exposes the underlying storage in row-major order. Mutations are
+// visible through the tensor.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// offset computes the flat index for the given multi-index.
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d vs shape rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 { return t.data[t.offset(idx)] }
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) { t.data[t.offset(idx)] = v }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	d := make([]float64, len(t.data))
+	copy(d, t.data)
+	return FromSlice(d, t.shape...)
+}
+
+// Reshape returns a view (sharing storage) with a new shape of equal element
+// count.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.shape, shape))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: t.data}
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Tensor) mustSameShape(o *Tensor, op string) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: %s on mismatched shapes %v vs %v", op, t.shape, o.shape))
+	}
+}
+
+// Fill sets every element to v and returns t.
+func (t *Tensor) Fill(v float64) *Tensor {
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// Zero sets every element to 0 and returns t.
+func (t *Tensor) Zero() *Tensor { return t.Fill(0) }
+
+// AddInPlace adds o element-wise into t and returns t.
+func (t *Tensor) AddInPlace(o *Tensor) *Tensor {
+	t.mustSameShape(o, "AddInPlace")
+	for i := range t.data {
+		t.data[i] += o.data[i]
+	}
+	return t
+}
+
+// SubInPlace subtracts o element-wise from t and returns t.
+func (t *Tensor) SubInPlace(o *Tensor) *Tensor {
+	t.mustSameShape(o, "SubInPlace")
+	for i := range t.data {
+		t.data[i] -= o.data[i]
+	}
+	return t
+}
+
+// MulInPlace multiplies t element-wise by o (Hadamard) and returns t.
+func (t *Tensor) MulInPlace(o *Tensor) *Tensor {
+	t.mustSameShape(o, "MulInPlace")
+	for i := range t.data {
+		t.data[i] *= o.data[i]
+	}
+	return t
+}
+
+// ScaleInPlace multiplies every element by s and returns t.
+func (t *Tensor) ScaleInPlace(s float64) *Tensor {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+	return t
+}
+
+// AddScalarInPlace adds s to every element and returns t.
+func (t *Tensor) AddScalarInPlace(s float64) *Tensor {
+	for i := range t.data {
+		t.data[i] += s
+	}
+	return t
+}
+
+// Add returns t + o as a new tensor.
+func Add(t, o *Tensor) *Tensor { return t.Clone().AddInPlace(o) }
+
+// Sub returns t - o as a new tensor.
+func Sub(t, o *Tensor) *Tensor { return t.Clone().SubInPlace(o) }
+
+// Mul returns the Hadamard product t ⊙ o as a new tensor.
+func Mul(t, o *Tensor) *Tensor { return t.Clone().MulInPlace(o) }
+
+// Scale returns s·t as a new tensor.
+func Scale(t *Tensor, s float64) *Tensor { return t.Clone().ScaleInPlace(s) }
+
+// AXPYInPlace computes t += alpha * o and returns t.
+func (t *Tensor) AXPYInPlace(alpha float64, o *Tensor) *Tensor {
+	t.mustSameShape(o, "AXPYInPlace")
+	for i := range t.data {
+		t.data[i] += alpha * o.data[i]
+	}
+	return t
+}
+
+// ClampInPlace clips every element to [lo, hi] and returns t.
+func (t *Tensor) ClampInPlace(lo, hi float64) *Tensor {
+	for i, v := range t.data {
+		if v < lo {
+			t.data[i] = lo
+		} else if v > hi {
+			t.data[i] = hi
+		}
+	}
+	return t
+}
+
+// Apply maps f over every element in place and returns t.
+func (t *Tensor) Apply(f func(float64) float64) *Tensor {
+	for i, v := range t.data {
+		t.data[i] = f(v)
+	}
+	return t
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 { return t.Sum() / float64(len(t.data)) }
+
+// Max returns the maximum element value.
+func (t *Tensor) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range t.data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element value.
+func (t *Tensor) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range t.data {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Argmax returns the flat index of the maximum element (first on ties).
+func (t *Tensor) Argmax() int {
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range t.data {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// L2Norm returns the Euclidean norm of all elements.
+func (t *Tensor) L2Norm() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// LinfNorm returns the maximum absolute element value.
+func (t *Tensor) LinfNorm() float64 {
+	m := 0.0
+	for _, v := range t.data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// CountIf returns the number of elements for which pred is true.
+func (t *Tensor) CountIf(pred func(float64) bool) int {
+	n := 0
+	for _, v := range t.data {
+		if pred(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// Dot returns the inner product of t and o viewed as flat vectors.
+func Dot(t, o *Tensor) float64 {
+	t.mustSameShape(o, "Dot")
+	s := 0.0
+	for i := range t.data {
+		s += t.data[i] * o.data[i]
+	}
+	return s
+}
+
+// MatMul multiplies a (m×k) by b (k×n) into a new (m×n) tensor.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs rank-2 operands, got %v × %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+	}
+	out := New(m, n)
+	// ikj loop order: streams through b and out rows, good cache behaviour.
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Transpose2D returns the transpose of a rank-2 tensor as a new tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose2D needs rank 2, got %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out
+}
+
+// Equal reports whether t and o have the same shape and all elements within
+// eps of each other.
+func Equal(t, o *Tensor, eps float64) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	for i := range t.data {
+		if math.Abs(t.data[i]-o.data[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description (shape plus a few leading values),
+// suitable for debugging.
+func (t *Tensor) String() string {
+	n := len(t.data)
+	if n > 6 {
+		n = 6
+	}
+	return fmt.Sprintf("Tensor%v%v…", t.shape, t.data[:n])
+}

@@ -1,0 +1,356 @@
+// Package cache implements the memory-hierarchy model of the simulated
+// machine: set-associative write-back, write-allocate caches with pluggable
+// replacement policies (LRU, tree-PLRU, SRRIP, random), optional next-line
+// and stride prefetchers, and a composable multi-level hierarchy (L1I, L1D,
+// unified L2, LLC) whose per-level statistics back the perf-style events in
+// internal/uarch/hpc.
+//
+// The model is a trace-driven functional simulator: it tracks tags and
+// dirtiness, not data or timing. That is exactly the fidelity Hardware
+// Performance Counters expose — event *counts* — which is all AdvHunter
+// consumes.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"advhunter/internal/rng"
+)
+
+// AccessKind distinguishes demand loads, stores and instruction fetches.
+type AccessKind int
+
+// Access kinds. Prefetch fills a line like a load but is accounted
+// separately so prefetching reduces (rather than relabels) demand misses.
+const (
+	Load AccessKind = iota
+	Store
+	Fetch
+	Prefetch
+)
+
+// String names the access kind.
+func (k AccessKind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Fetch:
+		return "fetch"
+	case Prefetch:
+		return "prefetch"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Policy selects the replacement strategy of a cache.
+type Policy int
+
+// Replacement policies.
+const (
+	LRU Policy = iota
+	PLRU
+	SRRIP
+	Random
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case PLRU:
+		return "plru"
+	case SRRIP:
+		return "srrip"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name   string
+	SizeB  int // total capacity in bytes
+	Ways   int
+	LineB  int // line size in bytes (power of two)
+	Policy Policy
+	// Seed drives the Random policy (ignored otherwise).
+	Seed uint64
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeB / (c.Ways * c.LineB) }
+
+// Validate panics on degenerate configurations.
+func (c Config) Validate() {
+	if c.SizeB <= 0 || c.Ways <= 0 || c.LineB <= 0 {
+		panic(fmt.Sprintf("cache: non-positive geometry in %+v", c))
+	}
+	if c.LineB&(c.LineB-1) != 0 {
+		panic(fmt.Sprintf("cache: line size %d not a power of two", c.LineB))
+	}
+	if c.SizeB%(c.Ways*c.LineB) != 0 || c.Sets() == 0 {
+		panic(fmt.Sprintf("cache: size %dB not divisible into %d ways of %dB lines", c.SizeB, c.Ways, c.LineB))
+	}
+	if s := c.Sets(); s&(s-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", s))
+	}
+}
+
+// Stats counts the events observed at one cache level.
+type Stats struct {
+	Accesses       uint64
+	Hits           uint64
+	Misses         uint64
+	LoadMisses     uint64
+	StoreMisses    uint64
+	FetchMisses    uint64
+	PrefetchMisses uint64
+	Evictions      uint64
+	WriteBacks     uint64
+}
+
+// MissRate returns misses per access (0 when idle).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Level is anything that can absorb a memory access: a lower cache or DRAM.
+type Level interface {
+	Access(addr uint64, kind AccessKind)
+}
+
+// Memory is the terminal level; it only counts traffic.
+type Memory struct {
+	Accesses uint64
+}
+
+// Access counts one DRAM transaction.
+func (m *Memory) Access(addr uint64, kind AccessKind) { m.Accesses++ }
+
+// Reset clears the DRAM counter.
+func (m *Memory) Reset() { m.Accesses = 0 }
+
+// line is one cache line's metadata.
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	// lru is a per-set timestamp for LRU, and the RRPV for SRRIP.
+	lru uint64
+}
+
+// Cache is one set-associative level.
+type Cache struct {
+	cfg      Config
+	Next     Level
+	sets     []line // Sets()*Ways entries, set-major
+	plruBits []uint64
+	tick     uint64
+	rand     *rng.Rand
+	stats    Stats
+	shift    uint
+	setMask  uint64
+}
+
+// New builds a cache level on top of next.
+func New(cfg Config, next Level) *Cache {
+	cfg.Validate()
+	if next == nil {
+		panic("cache: nil next level")
+	}
+	c := &Cache{
+		cfg:     cfg,
+		Next:    next,
+		sets:    make([]line, cfg.Sets()*cfg.Ways),
+		shift:   uint(bits.TrailingZeros(uint(cfg.LineB))),
+		setMask: uint64(cfg.Sets() - 1),
+	}
+	if cfg.Policy == PLRU {
+		c.plruBits = make([]uint64, cfg.Sets())
+	}
+	if cfg.Policy == Random {
+		c.rand = rng.New(cfg.Seed ^ 0xcafef00d)
+	}
+	return c
+}
+
+// Config returns the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the level's counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Reset invalidates all lines and clears statistics, returning the cache to
+// a cold state. The Random policy stream is NOT reset so repeated
+// measurements see fresh victim choices.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		c.sets[i] = line{}
+	}
+	for i := range c.plruBits {
+		c.plruBits[i] = 0
+	}
+	c.tick = 0
+	c.stats = Stats{}
+}
+
+// Access performs one demand access, recursing into lower levels on miss and
+// on dirty-victim write-back.
+func (c *Cache) Access(addr uint64, kind AccessKind) {
+	c.stats.Accesses++
+	set := (addr >> c.shift) & c.setMask
+	tag := addr >> c.shift
+	base := int(set) * c.cfg.Ways
+	ways := c.sets[base : base+c.cfg.Ways]
+
+	for w := range ways {
+		if ways[w].valid && ways[w].tag == tag {
+			c.stats.Hits++
+			c.touch(set, ways, w)
+			if kind == Store {
+				ways[w].dirty = true
+			}
+			return
+		}
+	}
+
+	// Miss.
+	c.stats.Misses++
+	switch kind {
+	case Load:
+		c.stats.LoadMisses++
+	case Store:
+		c.stats.StoreMisses++
+	case Fetch:
+		c.stats.FetchMisses++
+	case Prefetch:
+		c.stats.PrefetchMisses++
+	}
+	victim := c.victim(set, ways)
+	if ways[victim].valid {
+		c.stats.Evictions++
+		if ways[victim].dirty {
+			c.stats.WriteBacks++
+			c.Next.Access(ways[victim].tag<<c.shift, Store)
+		}
+	}
+	// Fill from below (write-allocate: stores also fetch the line).
+	fillKind := Load
+	if kind == Fetch {
+		fillKind = Fetch
+	}
+	c.Next.Access(addr, fillKind)
+	ways[victim] = line{valid: true, dirty: kind == Store, tag: tag}
+	c.insert(set, ways, victim)
+}
+
+// touch updates replacement metadata on a hit.
+func (c *Cache) touch(set uint64, ways []line, w int) {
+	switch c.cfg.Policy {
+	case LRU:
+		c.tick++
+		ways[w].lru = c.tick
+	case PLRU:
+		c.plruTouch(set, w)
+	case SRRIP:
+		ways[w].lru = 0 // promote to near-immediate re-reference
+	case Random:
+		// stateless
+	}
+}
+
+// insert initialises replacement metadata for a newly filled way.
+func (c *Cache) insert(set uint64, ways []line, w int) {
+	switch c.cfg.Policy {
+	case LRU:
+		c.tick++
+		ways[w].lru = c.tick
+	case PLRU:
+		c.plruTouch(set, w)
+	case SRRIP:
+		ways[w].lru = 2 // long re-reference interval on insertion
+	case Random:
+	}
+}
+
+// victim selects the way to replace in the set.
+func (c *Cache) victim(set uint64, ways []line) int {
+	// Invalid ways first, for every policy.
+	for w := range ways {
+		if !ways[w].valid {
+			return w
+		}
+	}
+	switch c.cfg.Policy {
+	case LRU:
+		best, bestTick := 0, ways[0].lru
+		for w := 1; w < len(ways); w++ {
+			if ways[w].lru < bestTick {
+				best, bestTick = w, ways[w].lru
+			}
+		}
+		return best
+	case PLRU:
+		return c.plruVictim(set)
+	case SRRIP:
+		// Find (aging as needed) a way with maximal RRPV (3).
+		for {
+			for w := range ways {
+				if ways[w].lru >= 3 {
+					return w
+				}
+			}
+			for w := range ways {
+				ways[w].lru++
+			}
+		}
+	case Random:
+		return c.rand.Intn(len(ways))
+	}
+	return 0
+}
+
+// plruTouch flips the tree bits along w's path so the path points away.
+func (c *Cache) plruTouch(set uint64, w int) {
+	bitsState := c.plruBits[set]
+	node := 0
+	levels := bits.Len(uint(c.cfg.Ways)) - 1
+	for level := 0; level < levels; level++ {
+		bit := (w >> (levels - 1 - level)) & 1
+		if bit == 0 {
+			bitsState |= 1 << uint(node) // point right (away from taken left path)
+			node = 2*node + 1
+		} else {
+			bitsState &^= 1 << uint(node) // point left
+			node = 2*node + 2
+		}
+	}
+	c.plruBits[set] = bitsState
+}
+
+// plruVictim follows the tree bits to the pseudo-LRU way.
+func (c *Cache) plruVictim(set uint64) int {
+	bitsState := c.plruBits[set]
+	node, w := 0, 0
+	levels := bits.Len(uint(c.cfg.Ways)) - 1
+	for level := 0; level < levels; level++ {
+		if bitsState&(1<<uint(node)) != 0 { // points right
+			w = w<<1 | 1
+			node = 2*node + 2
+		} else {
+			w = w << 1
+			node = 2*node + 1
+		}
+	}
+	return w
+}

@@ -1,0 +1,312 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"advhunter/internal/rng"
+)
+
+func smallCache(policy Policy) (*Cache, *Memory) {
+	mem := &Memory{}
+	c := New(Config{Name: "t", SizeB: 1024, Ways: 4, LineB: 64, Policy: policy, Seed: 7}, mem)
+	return c, mem
+}
+
+func TestConfigGeometry(t *testing.T) {
+	cfg := Config{Name: "x", SizeB: 32 << 10, Ways: 8, LineB: 64}
+	if cfg.Sets() != 64 {
+		t.Fatalf("sets = %d, want 64", cfg.Sets())
+	}
+}
+
+func TestConfigValidatePanics(t *testing.T) {
+	bad := []Config{
+		{SizeB: 0, Ways: 1, LineB: 64},
+		{SizeB: 1024, Ways: 4, LineB: 48},       // non-power-of-two line
+		{SizeB: 1000, Ways: 4, LineB: 64},       // not divisible
+		{SizeB: 64 * 4 * 3, Ways: 4, LineB: 64}, // 3 sets: not a power of two
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %d did not panic", i)
+				}
+			}()
+			cfg.Validate()
+		}()
+	}
+}
+
+func TestHitOnRepeat(t *testing.T) {
+	for _, pol := range []Policy{LRU, PLRU, SRRIP, Random} {
+		c, _ := smallCache(pol)
+		c.Access(0x1000, Load)
+		c.Access(0x1000, Load)
+		c.Access(0x1008, Load) // same line
+		st := c.Stats()
+		if st.Misses != 1 || st.Hits != 2 {
+			t.Fatalf("%v: misses=%d hits=%d", pol, st.Misses, st.Hits)
+		}
+	}
+}
+
+// Property: hits + misses == accesses for any trace and policy.
+func TestAccountingInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		for _, pol := range []Policy{LRU, PLRU, SRRIP, Random} {
+			c, _ := smallCache(pol)
+			for i := 0; i < 500; i++ {
+				addr := uint64(r.Intn(1 << 14))
+				kind := AccessKind(r.Intn(3))
+				c.Access(addr, kind)
+			}
+			st := c.Stats()
+			if st.Hits+st.Misses != st.Accesses {
+				return false
+			}
+			if st.LoadMisses+st.StoreMisses+st.FetchMisses != st.Misses {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a working set that fits sees no misses after one cold pass (LRU).
+func TestFittingWorkingSetConverges(t *testing.T) {
+	c, _ := smallCache(LRU) // 1 KiB = 16 lines
+	lines := []uint64{0, 64, 128, 192, 256, 320}
+	for pass := 0; pass < 3; pass++ {
+		for _, a := range lines {
+			c.Access(a, Load)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != uint64(len(lines)) {
+		t.Fatalf("misses = %d, want %d cold misses only", st.Misses, len(lines))
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// 4-way cache; hammer one set (set stride = Sets*LineB = 4*64 = 256).
+	c, _ := smallCache(LRU)
+	set0 := func(i uint64) uint64 { return i * 256 }
+	for i := uint64(0); i < 4; i++ {
+		c.Access(set0(i), Load)
+	}
+	c.Access(set0(0), Load) // refresh 0; LRU is now 1
+	c.Access(set0(4), Load) // evicts 1
+	c.Access(set0(0), Load) // hit
+	pre := c.Stats().Hits
+	c.Access(set0(1), Load) // must miss (was evicted)
+	if c.Stats().Hits != pre {
+		t.Fatal("line 1 unexpectedly survived; LRU order broken")
+	}
+}
+
+func TestWriteBackOnDirtyEviction(t *testing.T) {
+	mem := &Memory{}
+	c := New(Config{Name: "t", SizeB: 256, Ways: 1, LineB: 64}, mem) // 4 sets, direct-mapped
+	c.Access(0x0, Store)                                             // dirty line in set 0; mem: 1 fill
+	c.Access(0x400, Load)                                            // same set (stride 256B covers 4 sets ⇒ 0x400 maps to set 0); evicts dirty ⇒ write-back + fill
+	if got := c.Stats().WriteBacks; got != 1 {
+		t.Fatalf("write-backs = %d, want 1", got)
+	}
+	if mem.Accesses != 3 { // fill, write-back, fill
+		t.Fatalf("memory accesses = %d, want 3", mem.Accesses)
+	}
+}
+
+func TestCleanEvictionNoWriteBack(t *testing.T) {
+	mem := &Memory{}
+	c := New(Config{Name: "t", SizeB: 256, Ways: 1, LineB: 64}, mem)
+	c.Access(0x0, Load)
+	c.Access(0x400, Load)
+	if c.Stats().WriteBacks != 0 {
+		t.Fatal("clean eviction wrote back")
+	}
+	if mem.Accesses != 2 {
+		t.Fatalf("memory accesses = %d, want 2", mem.Accesses)
+	}
+}
+
+func TestWriteAllocate(t *testing.T) {
+	c, _ := smallCache(LRU)
+	c.Access(0x2000, Store)
+	pre := c.Stats().Hits
+	c.Access(0x2000, Load)
+	if c.Stats().Hits != pre+1 {
+		t.Fatal("store did not allocate the line")
+	}
+}
+
+func TestResetColdState(t *testing.T) {
+	c, _ := smallCache(LRU)
+	c.Access(0x0, Load)
+	c.Reset()
+	if c.Stats().Accesses != 0 {
+		t.Fatal("stats survived reset")
+	}
+	c.Access(0x0, Load)
+	if c.Stats().Misses != 1 {
+		t.Fatal("line survived reset")
+	}
+}
+
+func TestRandomPolicyDeterministicBySeed(t *testing.T) {
+	run := func() Stats {
+		c, _ := smallCache(Random)
+		r := rng.New(99)
+		for i := 0; i < 2000; i++ {
+			c.Access(uint64(r.Intn(1<<13)), Load)
+		}
+		return c.Stats()
+	}
+	if run() != run() {
+		t.Fatal("random policy not reproducible with equal seeds")
+	}
+}
+
+func TestSRRIPTerminates(t *testing.T) {
+	c, _ := smallCache(SRRIP)
+	r := rng.New(3)
+	for i := 0; i < 5000; i++ {
+		c.Access(uint64(r.Intn(1<<14)), Load)
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != st.Accesses {
+		t.Fatal("SRRIP accounting broken")
+	}
+}
+
+func TestPoliciesDifferOnCyclicScan(t *testing.T) {
+	// One hot line re-referenced every iteration plus a one-shot scan
+	// through the same set: LRU lets the scan push the hot line out, while
+	// SRRIP's re-reference prediction keeps the hot line resident. Set
+	// stride is Sets*LineB = 256.
+	trace := func(c *Cache) uint64 {
+		hot := uint64(0)
+		c.Access(hot, Load)
+		c.Access(hot, Load) // warm: SRRIP re-reference bit earned
+		var hotHits uint64
+		scan := uint64(0x100000)
+		for rep := 0; rep < 200; rep++ {
+			for i := uint64(0); i < 4; i++ {
+				c.Access(scan, Load)
+				scan += 256
+			}
+			pre := c.Stats().Hits
+			c.Access(hot, Load)
+			if c.Stats().Hits != pre {
+				hotHits++
+			}
+		}
+		return hotHits
+	}
+	lru, _ := smallCache(LRU)
+	srrip, _ := smallCache(SRRIP)
+	lruHot := trace(lru)
+	srripHot := trace(srrip)
+	if lruHot > 5 {
+		t.Fatalf("LRU kept the hot line through a full-set scan (%d hits)", lruHot)
+	}
+	if srripHot < 100 {
+		t.Fatalf("SRRIP hot-line hits = %d, want scan resistance (>=100)", srripHot)
+	}
+}
+
+func TestHierarchyInclusionOfTraffic(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	r := rng.New(5)
+	for i := 0; i < 5000; i++ {
+		h.Load(uint64(r.Intn(1<<18)), false)
+	}
+	l1d := h.L1D.Stats()
+	l2 := h.L2.Stats()
+	// Every L2 access must be caused by an L1 miss, an L1 write-back, or a
+	// page-table walk.
+	caused := l1d.Misses + l1d.WriteBacks + h.DTLB.Stats().Walks*uint64(h.DTLB.WalkLevels)
+	if l2.Accesses != caused {
+		t.Fatalf("L2 accesses %d != L1D misses+writebacks+walks %d", l2.Accesses, caused)
+	}
+}
+
+func TestHierarchyZCAAbsorbsZeroTraffic(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	h.Load(0x100, true)
+	h.Store(0x140, true)
+	if h.L1D.Stats().Accesses != 0 {
+		t.Fatal("zero-line traffic reached the data cache")
+	}
+	if h.ZeroLoads != 1 || h.ZeroStores != 1 {
+		t.Fatalf("ZCA counters %d/%d", h.ZeroLoads, h.ZeroStores)
+	}
+}
+
+func TestHierarchyFetchGoesToL1I(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	h.Fetch(0x400000)
+	if h.L1I.Stats().Accesses != 1 || h.L1D.Stats().Accesses != 0 {
+		t.Fatal("instruction fetch misrouted")
+	}
+}
+
+func TestNextLinePrefetcherCutsSequentialMisses(t *testing.T) {
+	base := DefaultHierarchyConfig()
+	plain := NewHierarchy(base)
+	pf := base
+	pf.L1DPrefetcher = &NextLinePrefetcher{LineB: 64}
+	fetching := NewHierarchy(pf)
+	for i := uint64(0); i < 4096; i++ {
+		plain.Load(i*8, false) // sequential bytes
+		fetching.Load(i*8, false)
+	}
+	if fetching.L1D.Stats().LoadMisses >= plain.L1D.Stats().LoadMisses {
+		t.Fatalf("next-line prefetcher did not help: %d vs %d",
+			fetching.L1D.Stats().LoadMisses, plain.L1D.Stats().LoadMisses)
+	}
+}
+
+func TestStridePrefetcherLocksOnStride(t *testing.T) {
+	p := &StridePrefetcher{LineB: 64, Degree: 2}
+	mem := &Memory{}
+	target := New(Config{Name: "t", SizeB: 4096, Ways: 4, LineB: 64}, mem)
+	for i := uint64(0); i < 50; i++ {
+		p.Observe(i*128, true, target)
+	}
+	if p.Issued == 0 {
+		t.Fatal("stride prefetcher never locked")
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c, _ := smallCache(LRU)
+	r := rng.New(1)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1 << 16))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&4095], Load)
+	}
+}
+
+func BenchmarkHierarchyLoad(b *testing.B) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	r := rng.New(1)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Load(addrs[i&4095], false)
+	}
+}

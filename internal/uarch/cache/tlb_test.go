@@ -1,0 +1,125 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"advhunter/internal/rng"
+)
+
+func TestTLBHitOnSamePage(t *testing.T) {
+	tlb := NewTLB(DefaultDTLBConfig(), nil)
+	tlb.Translate(0x1000)
+	tlb.Translate(0x1fff) // same 4 KiB page
+	st := tlb.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestTLBDistinctPagesMiss(t *testing.T) {
+	tlb := NewTLB(DefaultDTLBConfig(), nil)
+	for i := uint64(0); i < 10; i++ {
+		tlb.Translate(i * 4096)
+	}
+	if tlb.Stats().Misses != 10 {
+		t.Fatalf("misses %d, want 10 cold misses", tlb.Stats().Misses)
+	}
+}
+
+func TestTLBCapacityEviction(t *testing.T) {
+	cfg := TLBConfig{Name: "t", Entries: 8, Ways: 2, PageB: 4096}
+	tlb := NewTLB(cfg, nil)
+	// Hammer one set: pages with equal set index (stride = sets*pageB).
+	stride := uint64(4) * 4096
+	tlb.Translate(0)
+	tlb.Translate(stride)
+	tlb.Translate(2 * stride) // evicts page 0 (LRU)
+	pre := tlb.Stats().Hits
+	tlb.Translate(0)
+	if tlb.Stats().Hits != pre {
+		t.Fatal("evicted page still hit")
+	}
+}
+
+func TestTLBWalkTraffic(t *testing.T) {
+	mem := &Memory{}
+	tlb := NewTLB(DefaultDTLBConfig(), mem)
+	tlb.Translate(0x10000)
+	if mem.Accesses != uint64(tlb.WalkLevels) {
+		t.Fatalf("walk issued %d accesses, want %d", mem.Accesses, tlb.WalkLevels)
+	}
+	tlb.Translate(0x10040) // hit: no walk
+	if mem.Accesses != uint64(tlb.WalkLevels) {
+		t.Fatal("hit generated walk traffic")
+	}
+}
+
+func TestTLBAccountingInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		tlb := NewTLB(DefaultDTLBConfig(), nil)
+		r := rng.New(seed)
+		for i := 0; i < 500; i++ {
+			tlb.Translate(uint64(r.Intn(1 << 22)))
+		}
+		st := tlb.Stats()
+		return st.Hits+st.Misses == st.Accesses && st.Walks == st.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLBReset(t *testing.T) {
+	tlb := NewTLB(DefaultDTLBConfig(), nil)
+	tlb.Translate(0x5000)
+	tlb.Reset()
+	if tlb.Stats().Accesses != 0 {
+		t.Fatal("stats survived reset")
+	}
+	tlb.Translate(0x5000)
+	if tlb.Stats().Misses != 1 {
+		t.Fatal("entry survived reset")
+	}
+}
+
+func TestTLBConfigValidate(t *testing.T) {
+	bad := []TLBConfig{
+		{Entries: 0, Ways: 1, PageB: 4096},
+		{Entries: 8, Ways: 3, PageB: 4096},  // not divisible
+		{Entries: 8, Ways: 2, PageB: 3000},  // page not power of two
+		{Entries: 24, Ways: 2, PageB: 4096}, // 12 sets: not a power of two
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %d did not panic", i)
+				}
+			}()
+			cfg.Validate()
+		}()
+	}
+}
+
+func TestHierarchyTranslatesZeroTraffic(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	// ZCA-absorbed accesses still need translation (physically indexed tags).
+	h.Load(0x100000, true)
+	if h.DTLB.Stats().Accesses != 1 {
+		t.Fatal("zero-line load skipped translation")
+	}
+	if h.L1D.Stats().Accesses != 0 {
+		t.Fatal("zero-line load reached the data cache")
+	}
+}
+
+func TestHierarchyDTLBDisable(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	cfg.DTLB = TLBConfig{}
+	h := NewHierarchy(cfg)
+	if h.DTLB != nil {
+		t.Fatal("zero-valued TLB config did not disable the TLB")
+	}
+	h.Load(0x100, false) // must not panic
+}
