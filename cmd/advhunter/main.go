@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"advhunter/internal/core"
 	"advhunter/internal/data"
@@ -67,19 +69,20 @@ run 'advhunter <command> -h' for flags.`)
 }
 
 // commonFlags registers the flags every subcommand shares.
-func commonFlags(fs *flag.FlagSet) (cache *string, quick *bool, verbose *bool) {
+func commonFlags(fs *flag.FlagSet) (cache *string, quick *bool, verbose *bool, workers *int) {
 	cache = fs.String("cache", "artifacts/cache", "cache directory for models and measurements (empty disables)")
 	quick = fs.Bool("quick", false, "reduced workload sizes (for smoke tests)")
 	verbose = fs.Bool("v", false, "log progress to stderr")
+	workers = fs.Int("workers", 0, "worker goroutines for measurement/attack fan-out (0 = GOMAXPROCS, 1 = serial; results are identical for any value)")
 	return
 }
 
-func optionsFrom(cache string, quick, verbose bool) experiments.Options {
+func optionsFrom(cache string, quick, verbose bool, workers int) experiments.Options {
 	var log io.Writer
 	if verbose {
 		log = os.Stderr
 	}
-	return experiments.Options{CacheDir: cache, Quick: quick, Log: log}
+	return experiments.Options{CacheDir: cache, Quick: quick, Log: log, Workers: workers}
 }
 
 func cmdList() error {
@@ -107,9 +110,36 @@ func cmdExperiment(args []string) error {
 	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
 	id := fs.String("id", "", "experiment id (see 'advhunter list'), or 'all'")
 	asJSON := fs.Bool("json", false, "emit the result as JSON instead of a table")
-	cache, quick, verbose := commonFlags(fs)
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	cache, quick, verbose, workers := commonFlags(fs)
 	fs.Parse(args)
-	opts := optionsFrom(*cache, *quick, *verbose)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("creating cpu profile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "advhunter: creating mem profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush garbage so the profile shows live allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "advhunter: writing mem profile: %v\n", err)
+			}
+		}()
+	}
+	opts := optionsFrom(*cache, *quick, *verbose, *workers)
 	run := experiments.Run
 	if *asJSON {
 		run = experiments.RunJSON
@@ -131,9 +161,9 @@ func cmdExperiment(args []string) error {
 func cmdTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	scenario := fs.String("scenario", "S2", "scenario id (S1, S2, S3, CS)")
-	cache, quick, verbose := commonFlags(fs)
+	cache, quick, verbose, workers := commonFlags(fs)
 	fs.Parse(args)
-	env, err := experiments.LoadEnv(*scenario, optionsFrom(*cache, *quick, *verbose))
+	env, err := experiments.LoadEnv(*scenario, optionsFrom(*cache, *quick, *verbose, *workers))
 	if err != nil {
 		return err
 	}
@@ -150,9 +180,9 @@ func cmdAttack(args []string) error {
 	eps := fs.Float64("eps", 0.1, "attack strength (L∞); ignored by deepfool")
 	targeted := fs.Bool("targeted", false, "targeted variant (toward the scenario target class)")
 	n := fs.Int("n", 60, "number of source images")
-	cache, quick, verbose := commonFlags(fs)
+	cache, quick, verbose, workers := commonFlags(fs)
 	fs.Parse(args)
-	env, err := experiments.LoadEnv(*scenario, optionsFrom(*cache, *quick, *verbose))
+	env, err := experiments.LoadEnv(*scenario, optionsFrom(*cache, *quick, *verbose, *workers))
 	if err != nil {
 		return err
 	}
@@ -173,9 +203,9 @@ func cmdScan(args []string) error {
 	scenario := fs.String("scenario", "S2", "scenario id")
 	n := fs.Int("n", 10, "number of test images to scan (clean + adversarial)")
 	eps := fs.Float64("eps", 0.5, "strength of the demonstration attack")
-	cache, quick, verbose := commonFlags(fs)
+	cache, quick, verbose, workers := commonFlags(fs)
 	fs.Parse(args)
-	opts := optionsFrom(*cache, *quick, *verbose)
+	opts := optionsFrom(*cache, *quick, *verbose, *workers)
 	env, err := experiments.LoadEnv(*scenario, opts)
 	if err != nil {
 		return err

@@ -75,7 +75,7 @@ func main() {
 			av = append(av, m.Counts.Get(e))
 		}
 		cs, as := metrics.Summarize(cv), metrics.Summarize(av)
-		conf := core.EvaluateEvent(det, e, clean, adv)
+		conf := core.EvaluateEvent(det, e, clean, adv, 0)
 		fmt.Printf("%-22s %9.0f±%-6.0f %9.0f±%-6.0f %8.3f %8.3f\n",
 			e, cs.Mean, cs.Std, as.Mean, as.Std,
 			metrics.OverlapCoefficient(cv, av, 24), conf.F1())

@@ -1,0 +1,92 @@
+package attack
+
+import (
+	"advhunter/internal/data"
+	"advhunter/internal/models"
+	"advhunter/internal/parallel"
+)
+
+// samplable is implemented by attacks with internal randomness. forSample
+// returns a replica whose random stream is keyed by the sample index and
+// derived from the base stream WITHOUT advancing it (rng.Rand.Fork), so that
+// the perturbation of sample i is a pure function of
+// (model, input, base stream state, i) — independent of crafting order.
+type samplable interface {
+	forSample(i uint64) Attack
+}
+
+func (a *PGD) forSample(i uint64) Attack {
+	if a.Rand == nil {
+		return a
+	}
+	cp := *a
+	cp.Rand = a.Rand.Fork(i)
+	return &cp
+}
+
+func (a *RandomNoise) forSample(i uint64) Attack {
+	if a.Rand == nil {
+		return a
+	}
+	cp := *a
+	cp.Rand = a.Rand.Fork(i)
+	return &cp
+}
+
+// attackFor returns the attack instance to use for sample i: a per-sample
+// fork for stochastic attacks, the attack itself for deterministic ones.
+func attackFor(atk Attack, i uint64) Attack {
+	if s, ok := atk.(samplable); ok {
+		return s.forSample(i)
+	}
+	return atk
+}
+
+// CraftParallel applies the attack to every sample on a bounded worker pool
+// and scores the outcome exactly like Craft. Each worker beyond the first
+// perturbs against its own share-weights model replica, and stochastic
+// attacks are forked per sample, so the result is bit-identical for any
+// worker count — including workers == 1, which therefore differs from the
+// sequential-stream Craft for attacks with internal randomness.
+//
+// The attack must touch the model only through the Perturb arguments;
+// attacks holding private model references (e.g. the adaptive attacker) must
+// go through the serial Craft instead.
+func CraftParallel(m *models.Model, atk Attack, samples []data.Sample, workers int) CraftResult {
+	workers = parallel.Workers(workers, len(samples))
+	replicas := make([]*models.Model, workers)
+	replicas[0] = m
+	for w := 1; w < workers; w++ {
+		replicas[w] = m.Clone()
+	}
+	type crafted struct {
+		adv  data.Sample
+		pred int
+	}
+	outs := parallel.MapWorkers(workers, samples, func(worker, i int, s data.Sample) crafted {
+		rep := replicas[worker]
+		adv := attackFor(atk, uint64(i)).Perturb(rep, s.X, s.Label)
+		return crafted{adv: data.Sample{X: adv, Label: s.Label}, pred: rep.Predict(adv)}
+	})
+	res := CraftResult{}
+	succ, correct := 0, 0
+	for i, o := range outs {
+		res.AEs = append(res.AEs, o.adv)
+		res.Preds = append(res.Preds, o.pred)
+		if atk.Targeted() {
+			if o.pred == atk.TargetClass() {
+				succ++
+			}
+		} else if o.pred != samples[i].Label {
+			succ++
+		}
+		if o.pred == samples[i].Label {
+			correct++
+		}
+	}
+	if n := float64(len(samples)); n > 0 {
+		res.SuccessRate = float64(succ) / n
+		res.ModelAccuracy = float64(correct) / n
+	}
+	return res
+}

@@ -20,6 +20,7 @@ import (
 	"advhunter/internal/engine"
 	"advhunter/internal/gmm"
 	"advhunter/internal/metrics"
+	"advhunter/internal/rng"
 	"advhunter/internal/tensor"
 	"advhunter/internal/uarch/hpc"
 )
@@ -27,28 +28,60 @@ import (
 // Measurer performs the paper's measurement protocol: run one inference on
 // the instrumented engine, read the HPC bank R times under measurement
 // noise, and keep the per-event mean.
+//
+// Noise is re-keyed per sample: measurement i draws from the stream
+// rng.New(Seed).Split(i), so its counts are a pure function of
+// (model, input, Seed, i) — independent of measurement order and of which
+// worker performs it. That is what lets MeasureSet fan out over engine
+// replicas and still return bit-identical results for any worker count.
 type Measurer struct {
-	Engine  *engine.Engine
-	Sampler *hpc.Sampler
+	Engine *engine.Engine
+	// Noise is the measurement-disturbance model applied to true counts.
+	Noise hpc.NoiseModel
+	// Seed keys the per-sample noise streams.
+	Seed uint64
 	// R is the repetition count (the paper uses R = 10).
 	R int
+	// Workers bounds MeasureSet's concurrency: <= 0 selects
+	// runtime.GOMAXPROCS(0), 1 forces the serial path. Sequential Measure
+	// calls are unaffected.
+	Workers int
+
+	// next indexes sequential Measure calls so that a scan sequence is as
+	// deterministic as a batch measurement. Not synchronised: a Measurer's
+	// sequential API is single-goroutine, like the engine it owns.
+	next uint64
 }
 
 // NewMeasurer builds a measurer with the paper's defaults (R=10, default
 // noise model).
 func NewMeasurer(e *engine.Engine, noiseSeed uint64) *Measurer {
 	return &Measurer{
-		Engine:  e,
-		Sampler: hpc.NewSampler(hpc.DefaultNoise(), noiseSeed),
-		R:       10,
+		Engine: e,
+		Noise:  hpc.DefaultNoise(),
+		Seed:   noiseSeed,
+		R:      10,
 	}
 }
 
-// Measure returns the hard-label prediction and the R-averaged counter
-// reading for one image.
-func (m *Measurer) Measure(x *tensor.Tensor) (int, hpc.Counts) {
+// noiseAt builds the sampler for sample index i: a pure function of
+// (m.Noise, m.Seed, i).
+func (m *Measurer) noiseAt(i uint64) *hpc.Sampler {
+	return hpc.NewSamplerFrom(m.Noise, rng.New(m.Seed).Split(i))
+}
+
+// MeasureAt measures one image under the noise stream of sample index i.
+func (m *Measurer) MeasureAt(i uint64, x *tensor.Tensor) (int, hpc.Counts) {
 	pred, truth := m.Engine.Infer(x)
-	return pred, m.Sampler.MeasureMean(truth, m.R)
+	return pred, m.noiseAt(i).MeasureMean(truth, m.R)
+}
+
+// Measure returns the hard-label prediction and the R-averaged counter
+// reading for one image, assigning sample indices in call order.
+func (m *Measurer) Measure(x *tensor.Tensor) (int, hpc.Counts) {
+	i := m.next
+	m.next++
+	return m.MeasureAt(i, x)
 }
 
 // Template is the offline dataset 𝒟: per predicted category, one row of
@@ -86,11 +119,11 @@ func (t *Template) Column(c, n int) []float64 {
 
 // BuildTemplate measures every validation image and buckets it under its
 // *predicted* category — the only label a hard-label defender observes.
+// Measurement fans out over m.Workers; template rows keep input order.
 func BuildTemplate(m *Measurer, validation []data.Sample, classes int, events []hpc.Event) *Template {
 	t := NewTemplate(classes, events)
-	for _, s := range validation {
-		pred, counts := m.Measure(s.X)
-		t.Add(pred, counts)
+	for _, mm := range MeasureSet(m, validation) {
+		t.Add(mm.Pred, mm.Counts)
 	}
 	return t
 }

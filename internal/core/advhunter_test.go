@@ -185,14 +185,14 @@ func TestEvaluateEventScoring(t *testing.T) {
 		a[hpc.Instructions] = r.Normal(5e6, 5e4)
 		adv = append(adv, Measurement{Pred: 0, Counts: a})
 	}
-	conf := EvaluateEvent(det, hpc.CacheMisses, clean, adv)
+	conf := EvaluateEvent(det, hpc.CacheMisses, clean, adv, 0)
 	if conf.Total() != 100 {
 		t.Fatalf("total %d", conf.Total())
 	}
 	if conf.F1() < 0.9 {
 		t.Fatalf("separable synthetic case F1 = %.3f", conf.F1())
 	}
-	confI := EvaluateEvent(det, hpc.Instructions, clean, adv)
+	confI := EvaluateEvent(det, hpc.Instructions, clean, adv, 0)
 	if confI.F1() > 0.3 {
 		t.Fatalf("uninformative event F1 = %.3f, want low", confI.F1())
 	}

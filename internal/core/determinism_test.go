@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sync"
+	"testing"
+
+	"advhunter/internal/data"
+	"advhunter/internal/engine"
+	"advhunter/internal/models"
+)
+
+// The determinism fixture deliberately skips training: an untrained model
+// still exercises the full measurement path (inference, counters, noise) and
+// builds in milliseconds.
+var (
+	detOnce    sync.Once
+	detSamples []data.Sample
+	detModel   *models.Model
+)
+
+func detFixture() ([]data.Sample, *models.Model) {
+	detOnce.Do(func() {
+		ds := data.MustSynth("fashionmnist", 555, 6, 0)
+		detSamples = ds.Train[:40]
+		detModel = models.MustBuild("simplecnn", ds.C, ds.H, ds.W, ds.Classes, 5)
+	})
+	return detSamples, detModel
+}
+
+func measureWith(workers int) []Measurement {
+	samples, m := detFixture()
+	meas := NewMeasurer(engine.NewDefault(m.Clone()), 42)
+	meas.Workers = workers
+	return MeasureSet(meas, samples)
+}
+
+func encode(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMeasureSetDeterministicAcrossWorkers is the tentpole regression test:
+// the measured set must be byte-identical whether it was produced serially or
+// by a pool of workers, and across repeated parallel runs.
+func TestMeasureSetDeterministicAcrossWorkers(t *testing.T) {
+	serial := encode(t, measureWith(1))
+	for _, w := range []int{2, 8} {
+		if !bytes.Equal(serial, encode(t, measureWith(w))) {
+			t.Fatalf("Workers=%d produced different bytes than Workers=1", w)
+		}
+	}
+	if !bytes.Equal(encode(t, measureWith(8)), encode(t, measureWith(8))) {
+		t.Fatal("two 8-worker runs disagree")
+	}
+}
+
+// TestMeasureAtIndependentOfOrder checks per-sample noise re-keying directly:
+// measuring sample i must give the same counts whether or not other samples
+// were measured first.
+func TestMeasureAtIndependentOfOrder(t *testing.T) {
+	samples, m := detFixture()
+	fresh := func() *Measurer { return NewMeasurer(engine.NewDefault(m.Clone()), 42) }
+
+	a := fresh()
+	_, direct := a.MeasureAt(3, samples[3].X)
+
+	b := fresh()
+	for i := 0; i <= 3; i++ { // sequential scan reaching index 3
+		_, got := b.Measure(samples[i].X)
+		if i == 3 && got != direct {
+			t.Fatal("sequential Measure at index 3 differs from direct MeasureAt(3)")
+		}
+	}
+}
+
+// TestEngineCloneIdenticalCounts checks the replica contract: a cloned engine
+// must report identical predictions and identical true counter values.
+func TestEngineCloneIdenticalCounts(t *testing.T) {
+	samples, m := detFixture()
+	e := engine.NewDefault(m.Clone())
+	c := e.Clone()
+	for _, s := range samples[:8] {
+		p1, t1 := e.Infer(s.X)
+		p2, t2 := c.Infer(s.X)
+		if p1 != p2 || t1 != t2 {
+			t.Fatal("clone diverged from original engine")
+		}
+	}
+}
+
+// BenchmarkMeasureSet reports measurement throughput per worker count; the
+// parallel speedup claim in the PR is checked against these sub-benchmarks.
+func BenchmarkMeasureSet(b *testing.B) {
+	samples, m := detFixture()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(map[int]string{1: "workers=1", 2: "workers=2", 4: "workers=4", 8: "workers=8"}[w], func(b *testing.B) {
+			meas := NewMeasurer(engine.NewDefault(m.Clone()), 42)
+			meas.Workers = w
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MeasureSet(meas, samples)
+			}
+		})
+	}
+}

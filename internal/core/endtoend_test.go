@@ -94,7 +94,7 @@ func getE2E(t *testing.T) *e2e {
 // adversarial ones (the paper reports F1 ≈ 0.99 for this configuration).
 func TestEndToEndCacheMissesDetect(t *testing.T) {
 	f := getE2E(t)
-	conf := EvaluateEvent(f.det, hpc.CacheMisses, f.clean, f.adv)
+	conf := EvaluateEvent(f.det, hpc.CacheMisses, f.clean, f.adv, 0)
 	t.Logf("cache-misses: %v acc=%.3f F1=%.3f (clean=%d adv=%d)",
 		conf, conf.Accuracy(), conf.F1(), len(f.clean), len(f.adv))
 	if conf.F1() < 0.9 {
@@ -107,7 +107,7 @@ func TestEndToEndCacheMissesDetect(t *testing.T) {
 func TestEndToEndWeakEvents(t *testing.T) {
 	f := getE2E(t)
 	for _, e := range []hpc.Event{hpc.Instructions, hpc.Branches} {
-		conf := EvaluateEvent(f.det, e, f.clean, f.adv)
+		conf := EvaluateEvent(f.det, e, f.clean, f.adv, 0)
 		t.Logf("%v: acc=%.3f F1=%.3f", e, conf.Accuracy(), conf.F1())
 		if conf.Recall() > 0.5 {
 			t.Fatalf("%v detected %.0f%% of AEs; it should be uninformative",
@@ -120,9 +120,9 @@ func TestEndToEndWeakEvents(t *testing.T) {
 // paper's central comparative claim (Table 2's last row).
 func TestEndToEndOrdering(t *testing.T) {
 	f := getE2E(t)
-	cm := EvaluateEvent(f.det, hpc.CacheMisses, f.clean, f.adv).F1()
-	instr := EvaluateEvent(f.det, hpc.Instructions, f.clean, f.adv).F1()
-	br := EvaluateEvent(f.det, hpc.Branches, f.clean, f.adv).F1()
+	cm := EvaluateEvent(f.det, hpc.CacheMisses, f.clean, f.adv, 0).F1()
+	instr := EvaluateEvent(f.det, hpc.Instructions, f.clean, f.adv, 0).F1()
+	br := EvaluateEvent(f.det, hpc.Branches, f.clean, f.adv, 0).F1()
 	if cm <= instr || cm <= br {
 		t.Fatalf("event ordering violated: cache-misses %.3f vs instructions %.3f, branches %.3f", cm, instr, br)
 	}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"advhunter/internal/data"
+	"advhunter/internal/engine"
 	"advhunter/internal/metrics"
+	"advhunter/internal/parallel"
 	"advhunter/internal/uarch/hpc"
 )
 
@@ -17,42 +19,56 @@ type Measurement struct {
 	Counts    hpc.Counts
 }
 
-// MeasureSet measures every sample.
+// MeasureSet measures every sample, fanning out over m.Workers goroutines.
+// Each worker beyond the first runs its own engine replica (Engine.Clone —
+// shared weights, private μarch state), and every sample draws noise from its
+// index-keyed stream, so the returned slice is bit-identical for any worker
+// count and any scheduling.
 func MeasureSet(m *Measurer, samples []data.Sample) []Measurement {
-	out := make([]Measurement, len(samples))
-	for i, s := range samples {
-		pred, counts := m.Measure(s.X)
-		out[i] = Measurement{Pred: pred, TrueLabel: s.Label, Counts: counts}
+	workers := parallel.Workers(m.Workers, len(samples))
+	engines := make([]*engine.Engine, workers)
+	engines[0] = m.Engine
+	for w := 1; w < workers; w++ {
+		engines[w] = m.Engine.Clone()
 	}
-	return out
+	return parallel.MapWorkers(workers, samples, func(worker, i int, s data.Sample) Measurement {
+		pred, truth := engines[worker].Infer(s.X)
+		counts := m.noiseAt(uint64(i)).MeasureMean(truth, m.R)
+		return Measurement{Pred: pred, TrueLabel: s.Label, Counts: counts}
+	})
 }
 
 // EvaluateEvent scores the per-event decision rule over clean (negative) and
 // adversarial (positive) measurement sets, mirroring the paper's Table 2
-// protocol.
-func EvaluateEvent(d *Detector, event hpc.Event, clean, adv []Measurement) metrics.Confusion {
+// protocol. Detection is pure (the detector is read-only online), so scoring
+// fans out over the given worker count; the confusion matrix is accumulated
+// in input order.
+func EvaluateEvent(d *Detector, event hpc.Event, clean, adv []Measurement, workers int) metrics.Confusion {
 	n := d.EventIndex(event)
-	var c metrics.Confusion
-	for _, m := range clean {
-		res := d.Detect(m.Pred, m.Counts)
-		c.Add(false, res.Flags[n])
+	flag := func(_ int, m Measurement) bool {
+		return d.Detect(m.Pred, m.Counts).Flags[n]
 	}
-	for _, m := range adv {
-		res := d.Detect(m.Pred, m.Counts)
-		c.Add(true, res.Flags[n])
+	var c metrics.Confusion
+	for _, flagged := range parallel.Map(workers, clean, flag) {
+		c.Add(false, flagged)
+	}
+	for _, flagged := range parallel.Map(workers, adv, flag) {
+		c.Add(true, flagged)
 	}
 	return c
 }
 
 // EvaluateFusion scores the joint-model extension the same way.
-func EvaluateFusion(f *FusionDetector, clean, adv []Measurement) metrics.Confusion {
-	var c metrics.Confusion
-	for _, m := range clean {
+func EvaluateFusion(f *FusionDetector, clean, adv []Measurement, workers int) metrics.Confusion {
+	flag := func(_ int, m Measurement) bool {
 		_, flagged := f.Detect(m.Pred, m.Counts)
+		return flagged
+	}
+	var c metrics.Confusion
+	for _, flagged := range parallel.Map(workers, clean, flag) {
 		c.Add(false, flagged)
 	}
-	for _, m := range adv {
-		_, flagged := f.Detect(m.Pred, m.Counts)
+	for _, flagged := range parallel.Map(workers, adv, flag) {
 		c.Add(true, flagged)
 	}
 	return c

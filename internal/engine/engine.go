@@ -14,6 +14,7 @@ type Engine struct {
 	Model *models.Model
 	M     *Machine
 
+	cfg     MachineConfig
 	lo      *layout
 	ar      arena
 	branchy bool
@@ -25,6 +26,7 @@ func New(m *models.Model, cfg MachineConfig) *Engine {
 	return &Engine{
 		Model:   m,
 		M:       NewMachine(cfg),
+		cfg:     cfg,
 		lo:      buildLayout(m.Net),
 		branchy: cfg.BranchyKernels,
 		qlevels: cfg.QuantLevels,
@@ -33,6 +35,17 @@ func New(m *models.Model, cfg MachineConfig) *Engine {
 
 // NewDefault builds an engine on the default machine.
 func NewDefault(m *models.Model) *Engine { return New(m, DefaultMachineConfig()) }
+
+// Clone returns an independent engine replica for concurrent measurement:
+// the model is cloned sharing its weight tensors (models.Model.Clone), and
+// the machine — cache hierarchy, branch predictor, co-runner — is rebuilt
+// from the engine's MachineConfig in its power-on state. Because the cloned
+// network preserves layer walk order, the replica's synthetic address layout
+// is byte-identical to the original's, so Infer on a replica returns exactly
+// the counts the original would return for the same input.
+func (e *Engine) Clone() *Engine {
+	return New(e.Model.Clone(), e.cfg)
+}
 
 // Infer classifies the image x (shape [C,H,W]) on the simulated machine and
 // returns the hard-label prediction together with the true (noise-free) HPC

@@ -88,10 +88,13 @@ func DefaultMachineConfig() MachineConfig {
 	return MachineConfig{Hierarchy: cache.DefaultHierarchyConfig(), QuantLevels: 7}
 }
 
-// NewMachine builds the simulated core.
+// NewMachine builds the simulated core. A configured predictor is forked so
+// machines built from one shared MachineConfig never share predictor tables.
 func NewMachine(cfg MachineConfig) *Machine {
-	p := cfg.Predictor
-	if p == nil {
+	var p branch.Predictor
+	if cfg.Predictor != nil {
+		p = cfg.Predictor.Fork()
+	} else {
 		p = branch.NewGShare(12, 8)
 	}
 	hier := cache.NewHierarchy(cfg.Hierarchy)

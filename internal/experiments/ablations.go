@@ -7,6 +7,7 @@ import (
 	"advhunter/internal/core"
 	"advhunter/internal/data"
 	"advhunter/internal/metrics"
+	"advhunter/internal/parallel"
 	"advhunter/internal/uarch/cache"
 	"advhunter/internal/uarch/hpc"
 )
@@ -223,33 +224,53 @@ func AblationNoise(opts Options) (*NoiseAblationResult, error) {
 		scales = []float64{1, 4}
 		repeats = []int{1, 10}
 	}
-	res := &NoiseAblationResult{}
+	type cell struct {
+		sc  float64
+		rep int
+	}
+	var cells []cell
 	for _, sc := range scales {
-		noise := hpc.DefaultNoise()
-		noise.Rel *= sc
-		for e := range noise.EventRel {
-			noise.EventRel[e] *= sc
-			noise.AbsFloor[e] *= sc
-		}
 		for _, rep := range repeats {
-			seed := uint64(sc*1000) ^ uint64(rep)<<8
-			val := resampleNoise(valTruth, noise, rep, seed^1)
-			tpl := TemplateFromMeasurements(val, env.DS.Classes, env.Scn.TemplateM, hpc.AllEvents())
-			det, err := core.Fit(tpl, core.DefaultConfig())
-			if err != nil {
-				return nil, err
-			}
-			test := resampleNoise(testTruth, noise, rep, seed^2)
-			var clean []core.Measurement
-			for _, m := range test {
-				if m.Pred == m.TrueLabel {
-					clean = append(clean, m)
-				}
-			}
-			adv := resampleNoise(aeTruth, noise, rep, seed^3)
-			conf := core.EvaluateEvent(det, hpc.CacheMisses, clean, adv)
-			res.Points = append(res.Points, NoisePoint{NoiseScale: sc, R: rep, F1: conf.F1()})
+			cells = append(cells, cell{sc, rep})
 		}
+	}
+	// Every grid cell refits its own detector from independently resampled
+	// truth, so the sweep fans out per cell; the inner passes stay serial.
+	type outcome struct {
+		p   NoisePoint
+		err error
+	}
+	outs := parallel.Map(opts.Workers, cells, func(_ int, c cell) outcome {
+		noise := hpc.DefaultNoise()
+		noise.Rel *= c.sc
+		for e := range noise.EventRel {
+			noise.EventRel[e] *= c.sc
+			noise.AbsFloor[e] *= c.sc
+		}
+		seed := uint64(c.sc*1000) ^ uint64(c.rep)<<8
+		val := resampleNoise(valTruth, noise, c.rep, seed^1, 1)
+		tpl := TemplateFromMeasurements(val, env.DS.Classes, env.Scn.TemplateM, hpc.AllEvents())
+		det, err := core.Fit(tpl, core.DefaultConfig())
+		if err != nil {
+			return outcome{err: err}
+		}
+		test := resampleNoise(testTruth, noise, c.rep, seed^2, 1)
+		var clean []core.Measurement
+		for _, m := range test {
+			if m.Pred == m.TrueLabel {
+				clean = append(clean, m)
+			}
+		}
+		adv := resampleNoise(aeTruth, noise, c.rep, seed^3, 1)
+		conf := core.EvaluateEvent(det, hpc.CacheMisses, clean, adv, 1)
+		return outcome{p: NoisePoint{NoiseScale: c.sc, R: c.rep, F1: conf.F1()}}
+	})
+	res := &NoiseAblationResult{}
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		res.Points = append(res.Points, o.p)
 	}
 	return res, nil
 }
@@ -304,7 +325,7 @@ func AblationDetectors(opts Options) (*DetectorComparisonResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	add("GMM + BIC (paper)", hpc.CacheMisses, core.EvaluateEvent(det, hpc.CacheMisses, clean, ar.Meas))
+	add("GMM + BIC (paper)", hpc.CacheMisses, core.EvaluateEvent(det, hpc.CacheMisses, clean, ar.Meas, env.Opts.Workers))
 
 	// Single-Gaussian template.
 	cfg1 := core.DefaultConfig()
@@ -313,7 +334,7 @@ func AblationDetectors(opts Options) (*DetectorComparisonResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	add("single Gaussian (K=1)", hpc.CacheMisses, core.EvaluateEvent(det1, hpc.CacheMisses, clean, ar.Meas))
+	add("single Gaussian (K=1)", hpc.CacheMisses, core.EvaluateEvent(det1, hpc.CacheMisses, clean, ar.Meas, env.Opts.Workers))
 
 	// OR-fusion across all events.
 	var orConf metrics.Confusion
@@ -331,7 +352,7 @@ func AblationDetectors(opts Options) (*DetectorComparisonResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	add("multivariate GMM fusion", hpc.NumEvents, core.EvaluateFusion(fus, clean, ar.Meas))
+	add("multivariate GMM fusion", hpc.NumEvents, core.EvaluateFusion(fus, clean, ar.Meas, env.Opts.Workers))
 
 	// Soft-label confidence baseline (requires access the threat model
 	// forbids; shown to quantify the cost of hard-label-only detection).

@@ -104,7 +104,7 @@ func AblationAdaptive(opts Options) (*AdaptiveResult, error) {
 			}
 			featDist = meanFeatureDist(atk, succ)
 		}
-		conf := core.EvaluateEvent(det, hpc.CacheMisses, clean, meas)
+		conf := core.EvaluateEvent(det, hpc.CacheMisses, clean, meas, env.Opts.Workers)
 		res.Rows = append(res.Rows, AdaptiveRow{
 			Lambda:      lambda,
 			SuccessRate: successRate,

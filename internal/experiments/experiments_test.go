@@ -168,7 +168,7 @@ func TestDetectorEndToEndOnTestEnv(t *testing.T) {
 	if len(ar.Meas) == 0 {
 		t.Skip("attack produced no successful AEs at this tiny scale")
 	}
-	conf := core.EvaluateEvent(det, hpc.CacheMisses, clean, ar.Meas)
+	conf := core.EvaluateEvent(det, hpc.CacheMisses, clean, ar.Meas, 0)
 	if conf.Total() != len(clean)+len(ar.Meas) {
 		t.Fatal("evaluation accounting")
 	}
@@ -197,12 +197,12 @@ func TestResampleNoiseDeterministic(t *testing.T) {
 	var c hpc.Counts
 	c[hpc.CacheMisses] = 1000
 	truth := []core.Measurement{{Pred: 1, Counts: c}}
-	a := resampleNoise(truth, hpc.DefaultNoise(), 5, 7)
-	b := resampleNoise(truth, hpc.DefaultNoise(), 5, 7)
+	a := resampleNoise(truth, hpc.DefaultNoise(), 5, 7, 1)
+	b := resampleNoise(truth, hpc.DefaultNoise(), 5, 7, 4)
 	if a[0].Counts != b[0].Counts {
 		t.Fatal("resampling not deterministic")
 	}
-	d := resampleNoise(truth, hpc.DefaultNoise(), 5, 8)
+	d := resampleNoise(truth, hpc.DefaultNoise(), 5, 8, 1)
 	if a[0].Counts == d[0].Counts {
 		t.Fatal("different seeds produced identical noise")
 	}

@@ -6,6 +6,7 @@ import (
 
 	"advhunter/internal/core"
 	"advhunter/internal/metrics"
+	"advhunter/internal/parallel"
 	"advhunter/internal/rng"
 	"advhunter/internal/uarch/hpc"
 )
@@ -67,10 +68,15 @@ func Figure6(opts Options) (*Fig6Result, error) {
 				byClass[m.Pred] = append(byClass[m.Pred], m)
 			}
 		}
-		r := rng.New(env.Scn.Seed ^ 0xf16)
-		for _, m := range sizes {
-			var f1s []float64
-			for draw := 0; draw < resamples; draw++ {
+		base := rng.New(env.Scn.Seed ^ 0xf16)
+		for si, m := range sizes {
+			// Each draw forks its own stream keyed by (size index, draw), so
+			// the refits are pure per draw and fan out over the worker pool
+			// without changing any number.
+			f1s := make([]float64, resamples)
+			fitted := make([]bool, resamples)
+			parallel.ForEach(opts.Workers, resamples, func(draw int) {
+				r := base.Fork(uint64(si)<<32 | uint64(draw))
 				// Only the cache-misses GMMs are evaluated, so the template
 				// carries just that event — a 10x fit-time saving per draw.
 				tpl := core.NewTemplate(env.DS.Classes, []hpc.Event{hpc.CacheMisses})
@@ -92,11 +98,18 @@ func Figure6(opts Options) (*Fig6Result, error) {
 				cfg.GMM.Seed = uint64(draw)*7919 + 13
 				det, err := core.Fit(tpl, cfg)
 				if err != nil {
-					continue // tiny M can leave categories unmodelled
+					return // tiny M can leave categories unmodelled
 				}
-				f1s = append(f1s, core.EvaluateEvent(det, hpc.CacheMisses, clean, ar.Meas).F1())
+				f1s[draw] = core.EvaluateEvent(det, hpc.CacheMisses, clean, ar.Meas, 1).F1()
+				fitted[draw] = true
+			})
+			var kept []float64
+			for draw, ok := range fitted {
+				if ok {
+					kept = append(kept, f1s[draw])
+				}
 			}
-			mean, std := metrics.MeanStd(f1s)
+			mean, std := metrics.MeanStd(kept)
 			res.Points = append(res.Points, Fig6Point{Scenario: id, M: m, MeanF1: mean, StdF1: std})
 		}
 	}

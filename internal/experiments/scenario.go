@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+	"sync"
 
 	"advhunter/internal/attack"
 	"advhunter/internal/core"
@@ -90,6 +91,10 @@ type Options struct {
 	// Quick shrinks workloads (fewer attack sources, fewer resamples) for
 	// use in tests; published numbers use Quick=false.
 	Quick bool
+	// Workers bounds the concurrency of measurement, attack crafting,
+	// evaluation, and variant sweeps: <= 0 selects runtime.GOMAXPROCS(0),
+	// 1 forces serial execution. Results are identical for any value.
+	Workers int
 	// Log receives progress lines; nil silences them.
 	Log io.Writer
 }
@@ -111,16 +116,17 @@ type Env struct {
 	Meas     *core.Measurer
 	CleanAcc float64
 
+	valOnce sync.Once
 	valPool []data.Sample
 }
 
-// cachePath returns a path under the scenario's cache directory, or "" when
-// caching is disabled.
+// cachePath returns a path under the scenario's schema-versioned cache
+// directory, or "" when caching is disabled.
 func (e *Env) cachePath(name string) string {
 	if e.Opts.CacheDir == "" {
 		return ""
 	}
-	return filepath.Join(e.Opts.CacheDir, "v1", e.Scn.ID, name)
+	return filepath.Join(e.Opts.CacheDir, cacheVersionDir, e.Scn.ID, name)
 }
 
 // LoadEnv builds (or restores from cache) the scenario environment.
@@ -164,16 +170,18 @@ func LoadEnv(id string, opts Options) (*Env, error) {
 	}
 
 	env.Meas = core.NewMeasurer(engine.NewDefault(m), scn.Seed^0xbeef)
+	env.Meas.Workers = opts.Workers
 	return env, nil
 }
 
 // ValidationPool returns the defender's clean validation images —
 // ValPerClass per category, generated independently of train and test.
+// Safe to call from concurrent variant sweeps (initialised once).
 func (e *Env) ValidationPool() []data.Sample {
-	if e.valPool == nil {
+	e.valOnce.Do(func() {
 		pool := data.MustSynth(e.Scn.Dataset, e.Scn.Seed^0x5a5a, e.Scn.ValPerClass, 0)
 		e.valPool = pool.Train
-	}
+	})
 	return e.valPool
 }
 
@@ -409,7 +417,7 @@ func (e *Env) Craft(spec AttackSpec, nSources int) (*craftedSet, error) {
 		return nil, fmt.Errorf("experiments: no attack sources for %s", spec.Key())
 	}
 	e.Opts.logf("[%s] crafting %s on %d sources…", e.Scn.ID, spec, len(sources))
-	crafted := attack.Craft(e.Model, atk, sources)
+	crafted := attack.CraftParallel(e.Model, atk, sources, e.Opts.Workers)
 	set := &craftedSet{
 		Spec:          spec,
 		SuccessRate:   crafted.SuccessRate,

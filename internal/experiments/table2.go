@@ -90,7 +90,7 @@ func Table2(opts Options) (*Table2Result, error) {
 			N:        len(bySource[c]),
 		}
 		for _, e := range events {
-			conf := core.EvaluateEvent(det, e, clean, bySource[c])
+			conf := core.EvaluateEvent(det, e, clean, bySource[c], env.Opts.Workers)
 			row.Acc[e] = conf.Accuracy()
 			row.F1[e] = conf.F1()
 			overall[e].Merge(conf)

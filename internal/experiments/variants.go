@@ -6,6 +6,8 @@ import (
 	"advhunter/internal/core"
 	"advhunter/internal/engine"
 	"advhunter/internal/metrics"
+	"advhunter/internal/parallel"
+	"advhunter/internal/rng"
 	"advhunter/internal/uarch/hpc"
 )
 
@@ -33,9 +35,11 @@ func DefaultVariant() Variant {
 // model.
 func (e *Env) variantMeasurer(v Variant) *core.Measurer {
 	return &core.Measurer{
-		Engine:  engine.New(e.Model, v.Machine),
-		Sampler: hpc.NewSampler(v.Noise, e.Scn.Seed^0xbeef),
+		Engine:  engine.New(e.Model.Clone(), v.Machine),
+		Noise:   v.Noise,
+		Seed:    e.Scn.Seed ^ 0xbeef,
 		R:       v.R,
+		Workers: e.Opts.Workers,
 	}
 }
 
@@ -76,7 +80,7 @@ func (e *Env) VariantEvaluation(v Variant, spec AttackSpec, nSources int, event 
 	if err != nil {
 		return metrics.Confusion{}, err
 	}
-	return core.EvaluateEvent(det, event, clean, aeMeas), nil
+	return core.EvaluateEvent(det, event, clean, aeMeas, e.Opts.Workers), nil
 }
 
 // TruthMeasurements returns noise-free per-image counter snapshots for the
@@ -85,9 +89,11 @@ func (e *Env) VariantEvaluation(v Variant, spec AttackSpec, nSources int, event 
 // the simulator.
 func (e *Env) TruthMeasurements(which string, spec AttackSpec, nSources int) ([]core.Measurement, error) {
 	truthMeas := &core.Measurer{
-		Engine:  engine.NewDefault(e.Model),
-		Sampler: hpc.NewSampler(hpc.NoiseModel{}, 0),
+		Engine:  engine.NewDefault(e.Model.Clone()),
+		Noise:   hpc.NoiseModel{},
+		Seed:    0,
 		R:       1,
+		Workers: e.Opts.Workers,
 	}
 	switch which {
 	case "validation":
@@ -107,14 +113,14 @@ func (e *Env) TruthMeasurements(which string, spec AttackSpec, nSources int) ([]
 
 // resampleNoise applies a measurement protocol (noise model + repeat count)
 // to truth measurements, producing what a defender running that protocol
-// would record.
-func resampleNoise(truth []core.Measurement, noise hpc.NoiseModel, repeats int, seed uint64) []core.Measurement {
-	s := hpc.NewSampler(noise, seed)
-	out := make([]core.Measurement, len(truth))
-	for i, m := range truth {
-		out[i] = core.Measurement{Pred: m.Pred, TrueLabel: m.TrueLabel, Counts: s.MeasureMean(m.Counts, repeats)}
-	}
-	return out
+// would record. Noise is re-keyed per sample (rng.New(seed).Split(i)), so the
+// resampled set is a pure function of (truth, noise, repeats, seed) for any
+// worker count.
+func resampleNoise(truth []core.Measurement, noise hpc.NoiseModel, repeats int, seed uint64, workers int) []core.Measurement {
+	return parallel.Map(workers, truth, func(i int, m core.Measurement) core.Measurement {
+		s := hpc.NewSamplerFrom(noise, rng.New(seed).Split(uint64(i)))
+		return core.Measurement{Pred: m.Pred, TrueLabel: m.TrueLabel, Counts: s.MeasureMean(m.Counts, repeats)}
+	})
 }
 
 // engineCoRunner builds a co-runner config (helper for the ablation grids).

@@ -140,6 +140,15 @@ func (m *Model) Load(path string) error {
 	return nil
 }
 
+// Clone returns a replica of the model that shares its weight tensors with
+// the receiver but owns all per-forward mutable state (layer caches, gradient
+// accumulators). Replicas support concurrent inference-mode Forward/Backward
+// — one per worker in parallel measurement and attack-crafting loops — at a
+// per-replica cost of the layer structs only, not the weights.
+func (m *Model) Clone() *Model {
+	return &Model{Meta: m.Meta, Net: nn.CloneShared(m.Net)}
+}
+
 // ParamCount returns the total number of trainable scalars.
 func (m *Model) ParamCount() int {
 	n := 0

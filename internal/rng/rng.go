@@ -44,9 +44,21 @@ func New(seed uint64) *Rand {
 // Split derives a new independent generator from r, keyed by label. Splitting
 // with distinct labels yields decorrelated streams, so components can be
 // seeded hierarchically (e.g. per-image noise streams) without coordination.
+// Split advances r; use Fork when the receiver must stay untouched.
 func (r *Rand) Split(label uint64) *Rand {
 	seed := r.Uint64() ^ (label * 0x9e3779b97f4a7c15)
 	return New(seed)
+}
+
+// Fork derives a new independent generator keyed by label WITHOUT advancing
+// the receiver: the result is a pure function of (r's current state, label).
+// Distinct labels give decorrelated streams, so concurrent workers can each
+// fork the same base generator by item index and produce output that does not
+// depend on scheduling order.
+func (r *Rand) Fork(label uint64) *Rand {
+	tmp := *r // copy the state so the receiver is left untouched
+	tmp.hasGauss = false
+	return tmp.Split(label)
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

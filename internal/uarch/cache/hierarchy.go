@@ -8,6 +8,10 @@ type Prefetcher interface {
 	// Observe is called with each demand access address (line-aligned) and
 	// whether it missed; the prefetcher may issue fills into the target.
 	Observe(addr uint64, miss bool, target Level)
+	// Fork returns an independent prefetcher of the same configuration in its
+	// power-on state, so concurrent hierarchy replicas built from one shared
+	// HierarchyConfig do not share stride/confidence state.
+	Fork() Prefetcher
 }
 
 // NextLinePrefetcher fetches addr+LineB on every demand miss.
@@ -23,6 +27,11 @@ func (p *NextLinePrefetcher) Observe(addr uint64, miss bool, target Level) {
 		p.Issued++
 		target.Access(addr+uint64(p.LineB), Prefetch)
 	}
+}
+
+// Fork implements Prefetcher.
+func (p *NextLinePrefetcher) Fork() Prefetcher {
+	return &NextLinePrefetcher{LineB: p.LineB}
 }
 
 // StridePrefetcher detects a constant line stride over recent accesses and
@@ -62,6 +71,11 @@ func (p *StridePrefetcher) Observe(addr uint64, miss bool, target Level) {
 			target.Access(uint64(int64(addr)+p.stride*int64(d)), Prefetch)
 		}
 	}
+}
+
+// Fork implements Prefetcher.
+func (p *StridePrefetcher) Fork() Prefetcher {
+	return &StridePrefetcher{LineB: p.LineB, Degree: p.Degree}
 }
 
 // HierarchyConfig describes the full simulated memory system.
@@ -107,18 +121,24 @@ type Hierarchy struct {
 	ZeroStores uint64
 }
 
-// NewHierarchy builds the four-level system.
+// NewHierarchy builds the four-level system. The configured L1D prefetcher,
+// if any, is forked so that hierarchies built from one shared config never
+// share prefetcher state.
 func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 	mem := &Memory{}
 	llc := New(cfg.LLC, mem)
 	l2 := New(cfg.L2, llc)
+	var pf Prefetcher
+	if cfg.L1DPrefetcher != nil {
+		pf = cfg.L1DPrefetcher.Fork()
+	}
 	h := &Hierarchy{
 		L1I:        New(cfg.L1I, l2),
 		L1D:        New(cfg.L1D, l2),
 		L2:         l2,
 		LLC:        llc,
 		Mem:        mem,
-		prefetcher: cfg.L1DPrefetcher,
+		prefetcher: pf,
 	}
 	if cfg.DTLB.Entries > 0 {
 		h.DTLB = NewTLB(cfg.DTLB, l2)
@@ -161,12 +181,18 @@ func (h *Hierarchy) Fetch(addr uint64) {
 	h.L1I.Access(addr, Fetch)
 }
 
-// Reset returns every level (and the ZCA counters) to a cold state.
+// Reset returns every level (and the ZCA counters) to a cold state. The
+// prefetcher is re-forked to its power-on state so that stride/confidence
+// carry-over cannot leak one measurement's access pattern into the next —
+// each post-Reset run is a pure function of the inference it observes.
 func (h *Hierarchy) Reset() {
 	h.L1I.Reset()
 	h.L1D.Reset()
 	h.L2.Reset()
 	h.LLC.Reset()
+	if h.prefetcher != nil {
+		h.prefetcher = h.prefetcher.Fork()
+	}
 	if h.DTLB != nil {
 		h.DTLB.Reset()
 	}

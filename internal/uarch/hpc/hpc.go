@@ -186,6 +186,14 @@ func NewSampler(model NoiseModel, seed uint64) *Sampler {
 	return &Sampler{Model: model, r: rng.New(seed)}
 }
 
+// NewSamplerFrom builds a sampler around an existing noise stream. It is the
+// hook for per-sample noise re-keying: callers fork one stream per sample so
+// that reading i is a pure function of (model, truth, seed, i) and therefore
+// independent of which worker performs it.
+func NewSamplerFrom(model NoiseModel, r *rng.Rand) *Sampler {
+	return &Sampler{Model: model, r: r}
+}
+
 // Sample returns one noisy reading of the true counts.
 func (s *Sampler) Sample(truth Counts) Counts {
 	var out Counts

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Repository verification: the tier-1 gate plus the race-detector pass over
+# the packages that fan out over goroutines (the measurement pipeline, its
+# engine replicas, and the parallel primitive itself). Full ./... under -race
+# is too slow for CI; the concurrency all lives behind these three packages.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+go build ./...
+
+echo "== vet =="
+go vet ./...
+
+echo "== test =="
+go test ./...
+
+echo "== race (parallel pipeline) =="
+go test -race ./internal/parallel ./internal/core ./internal/engine
+
+echo "verify: OK"
