@@ -1,6 +1,7 @@
 // Command advhunter drives the AdvHunter reproduction: train scenario
 // models, craft adversarial examples, measure simulated HPC readings, run
-// the detector, and regenerate every table and figure of the paper.
+// the detector, serve it as a long-lived detection service, and regenerate
+// every table and figure of the paper.
 //
 // Usage:
 //
@@ -8,55 +9,76 @@
 //	advhunter experiment -id table2 [-cache DIR] [-quick] [-v]
 //	advhunter train -scenario S2 [-cache DIR]
 //	advhunter attack -scenario S2 -kind fgsm -eps 0.5 -targeted [-n 60]
-//	advhunter scan -scenario S2 [-n 20]
+//	advhunter scan -scenario S2 [-n 20] [-detector FILE]
+//	advhunter serve -scenario S2 -addr :8080 [-detector FILE]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
+	"time"
 
 	"advhunter/internal/core"
 	"advhunter/internal/data"
 	"advhunter/internal/experiments"
+	"advhunter/internal/serve"
 	"advhunter/internal/uarch/hpc"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
-	}
-	var err error
-	switch os.Args[1] {
-	case "list":
-		err = cmdList()
-	case "experiment":
-		err = cmdExperiment(os.Args[2:])
-	case "train":
-		err = cmdTrain(os.Args[2:])
-	case "attack":
-		err = cmdAttack(os.Args[2:])
-	case "scan":
-		err = cmdScan(os.Args[2:])
-	case "-h", "--help", "help":
-		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "advhunter: unknown command %q\n", os.Args[1])
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "advhunter: %v\n", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `advhunter — HPC side-channel adversarial-example detection (DAC'24 reproduction)
+// run dispatches one invocation; it is main minus os.Exit so the dispatch
+// table is testable. Exit codes: 0 ok, 1 command failed, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "list":
+		err = cmdList(stdout)
+	case "experiment":
+		err = cmdExperiment(args[1:], stdout, stderr)
+	case "train":
+		err = cmdTrain(args[1:], stdout, stderr)
+	case "attack":
+		err = cmdAttack(args[1:], stdout, stderr)
+	case "scan":
+		err = cmdScan(args[1:], stdout, stderr)
+	case "serve":
+		err = cmdServe(args[1:], stdout, stderr)
+	case "-h", "--help", "help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "advhunter: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+	if errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "advhunter: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `advhunter — HPC side-channel adversarial-example detection (DAC'24 reproduction)
 
 commands:
   list        list experiments and scenarios
@@ -64,6 +86,7 @@ commands:
   train       train or load one scenario model (-scenario S2)
   attack      craft adversarial examples and report attack statistics
   scan        run the deployed pipeline on test images and print decisions
+  serve       run the online detection service (HTTP JSON, /detect)
 
 run 'advhunter <command> -h' for flags.`)
 }
@@ -85,15 +108,44 @@ func optionsFrom(cache string, quick, verbose bool, workers int) experiments.Opt
 	return experiments.Options{CacheDir: cache, Quick: quick, Log: log, Workers: workers}
 }
 
-func cmdList() error {
-	fmt.Println("experiments:")
-	for _, id := range experiments.IDs() {
-		fmt.Printf("  %-22s %s\n", id, experiments.Registry[id].Description)
+// loadOrFitDetector implements the "fit once, serve many" workflow: a valid
+// artifact at path is loaded; a missing, corrupt or stale-schema file is a
+// miss — the detector is refitted from the scenario's validation template
+// and the artifact is (re)written for the next process.
+func loadOrFitDetector(env *experiments.Env, path string) (*core.Detector, error) {
+	logf := func(format string, args ...any) {
+		if env.Opts.Log != nil {
+			fmt.Fprintf(env.Opts.Log, format+"\n", args...)
+		}
 	}
-	fmt.Println("\nscenarios:")
+	if path != "" {
+		if det, ok := core.TryLoadDetector(path); ok {
+			logf("[%s] loaded detector from %s", env.Scn.ID, path)
+			return det, nil
+		}
+	}
+	det, err := env.Detector()
+	if err != nil {
+		return nil, err
+	}
+	if path != "" {
+		if err := core.SaveDetector(path, det); err != nil {
+			return nil, fmt.Errorf("saving detector to %s: %w", path, err)
+		}
+		logf("[%s] fitted detector and saved it to %s", env.Scn.ID, path)
+	}
+	return det, nil
+}
+
+func cmdList(stdout io.Writer) error {
+	fmt.Fprintln(stdout, "experiments:")
+	for _, id := range experiments.IDs() {
+		fmt.Fprintf(stdout, "  %-22s %s\n", id, experiments.Registry[id].Description)
+	}
+	fmt.Fprintln(stdout, "\nscenarios:")
 	for _, id := range []string{"S1", "S2", "S3", "CS"} {
 		s := experiments.Scenarios[id]
-		fmt.Printf("  %-3s %s × %s (%d classes, target %q)\n",
+		fmt.Fprintf(stdout, "  %-3s %s × %s (%d classes, target %q)\n",
 			id, s.Dataset, s.Arch, classesOf(s.Dataset), data.ClassName(s.Dataset, s.TargetClass))
 	}
 	return nil
@@ -106,14 +158,17 @@ func classesOf(dataset string) int {
 	return 10
 }
 
-func cmdExperiment(args []string) error {
-	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+func cmdExperiment(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	id := fs.String("id", "", "experiment id (see 'advhunter list'), or 'all'")
 	asJSON := fs.Bool("json", false, "emit the result as JSON instead of a table")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	cache, quick, verbose, workers := commonFlags(fs)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -129,24 +184,24 @@ func cmdExperiment(args []string) error {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "advhunter: creating mem profile: %v\n", err)
+				fmt.Fprintf(stderr, "advhunter: creating mem profile: %v\n", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC() // flush garbage so the profile shows live allocations
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "advhunter: writing mem profile: %v\n", err)
+				fmt.Fprintf(stderr, "advhunter: writing mem profile: %v\n", err)
 			}
 		}()
 	}
 	opts := optionsFrom(*cache, *quick, *verbose, *workers)
-	run := experiments.Run
+	runFn := experiments.Run
 	if *asJSON {
-		run = experiments.RunJSON
+		runFn = experiments.RunJSON
 	}
 	if *id == "all" {
 		for _, eid := range experiments.IDs() {
-			if err := run(eid, opts, os.Stdout); err != nil {
+			if err := runFn(eid, opts, stdout); err != nil {
 				return fmt.Errorf("experiment %s: %w", eid, err)
 			}
 		}
@@ -155,33 +210,39 @@ func cmdExperiment(args []string) error {
 	if *id == "" {
 		return fmt.Errorf("missing -id (see 'advhunter list')")
 	}
-	return run(*id, opts, os.Stdout)
+	return runFn(*id, opts, stdout)
 }
 
-func cmdTrain(args []string) error {
-	fs := flag.NewFlagSet("train", flag.ExitOnError)
+func cmdTrain(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	scenario := fs.String("scenario", "S2", "scenario id (S1, S2, S3, CS)")
 	cache, quick, verbose, workers := commonFlags(fs)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	env, err := experiments.LoadEnv(*scenario, optionsFrom(*cache, *quick, *verbose, *workers))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("scenario %s: %s × %s\n", env.Scn.ID, env.Scn.Dataset, env.Scn.Arch)
-	fmt.Printf("clean test accuracy: %.2f%%\n", 100*env.CleanAcc)
-	fmt.Printf("parameters: %d\n", env.Model.ParamCount())
+	fmt.Fprintf(stdout, "scenario %s: %s × %s\n", env.Scn.ID, env.Scn.Dataset, env.Scn.Arch)
+	fmt.Fprintf(stdout, "clean test accuracy: %.2f%%\n", 100*env.CleanAcc)
+	fmt.Fprintf(stdout, "parameters: %d\n", env.Model.ParamCount())
 	return nil
 }
 
-func cmdAttack(args []string) error {
-	fs := flag.NewFlagSet("attack", flag.ExitOnError)
+func cmdAttack(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("attack", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	scenario := fs.String("scenario", "S2", "scenario id")
 	kind := fs.String("kind", "fgsm", "attack kind: fgsm, pgd, deepfool")
 	eps := fs.Float64("eps", 0.1, "attack strength (L∞); ignored by deepfool")
 	targeted := fs.Bool("targeted", false, "targeted variant (toward the scenario target class)")
 	n := fs.Int("n", 60, "number of source images")
 	cache, quick, verbose, workers := commonFlags(fs)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	env, err := experiments.LoadEnv(*scenario, optionsFrom(*cache, *quick, *verbose, *workers))
 	if err != nil {
 		return err
@@ -191,37 +252,41 @@ func cmdAttack(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("attack: %s on %s\n", spec, *scenario)
-	fmt.Printf("success rate: %.2f%%   model accuracy under attack: %.2f%%\n",
+	fmt.Fprintf(stdout, "attack: %s on %s\n", spec, *scenario)
+	fmt.Fprintf(stdout, "success rate: %.2f%%   model accuracy under attack: %.2f%%\n",
 		100*ar.SuccessRate, 100*ar.ModelAccuracy)
-	fmt.Printf("successful adversarial examples measured: %d\n", len(ar.Meas))
+	fmt.Fprintf(stdout, "successful adversarial examples measured: %d\n", len(ar.Meas))
 	return nil
 }
 
-func cmdScan(args []string) error {
-	fs := flag.NewFlagSet("scan", flag.ExitOnError)
+func cmdScan(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("scan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	scenario := fs.String("scenario", "S2", "scenario id")
 	n := fs.Int("n", 10, "number of test images to scan (clean + adversarial)")
 	eps := fs.Float64("eps", 0.5, "strength of the demonstration attack")
+	detector := fs.String("detector", "", "fitted-detector file: loaded if valid, refitted and saved on a miss")
 	cache, quick, verbose, workers := commonFlags(fs)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	opts := optionsFrom(*cache, *quick, *verbose, *workers)
 	env, err := experiments.LoadEnv(*scenario, opts)
 	if err != nil {
 		return err
 	}
-	det, err := env.Detector()
+	det, err := loadOrFitDetector(env, *detector)
 	if err != nil {
 		return err
 	}
 	pipe := &core.Pipeline{M: env.Meas, D: det}
 	cmIdx := det.EventIndex(hpc.CacheMisses)
 
-	fmt.Printf("scanning %d clean test images:\n", *n)
+	fmt.Fprintf(stdout, "scanning %d clean test images:\n", *n)
 	for i := 0; i < *n && i < len(env.DS.Test); i++ {
 		s := env.DS.Test[i]
 		res := pipe.Scan(s.X)
-		fmt.Printf("  image %2d (true %q): predicted %q, adversarial=%v\n",
+		fmt.Fprintf(stdout, "  image %2d (true %q): predicted %q, adversarial=%v\n",
 			i, data.ClassName(env.Scn.Dataset, s.Label),
 			data.ClassName(env.Scn.Dataset, res.PredictedClass), res.Flags[cmIdx])
 	}
@@ -231,12 +296,83 @@ func cmdScan(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("scanning %d adversarial images (%s):\n", len(ar.Meas), spec)
+	fmt.Fprintf(stdout, "scanning %d adversarial images (%s):\n", len(ar.Meas), spec)
 	for i, m := range ar.Meas {
 		res := det.Detect(m.Pred, m.Counts)
-		fmt.Printf("  AE %2d (from %q): predicted %q, adversarial=%v\n",
+		fmt.Fprintf(stdout, "  AE %2d (from %q): predicted %q, adversarial=%v\n",
 			i, data.ClassName(env.Scn.Dataset, m.TrueLabel),
 			data.ClassName(env.Scn.Dataset, m.Pred), res.Flags[cmIdx])
 	}
+	return nil
+}
+
+func cmdServe(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scenario := fs.String("scenario", "S2", "scenario id (defines the served model)")
+	addr := fs.String("addr", ":8080", "listen address")
+	detector := fs.String("detector", "", "fitted-detector file: loaded if valid, refitted and saved on a miss")
+	queue := fs.Int("queue", 64, "admission queue capacity (full queue answers 429)")
+	maxBatch := fs.Int("max-batch", 8, "micro-batch size cap")
+	batchWait := fs.Duration("batch-wait", 2*time.Millisecond, "micro-batcher linger after the first queued request")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request budget including queueing")
+	event := fs.String("event", hpc.CacheMisses.String(), "perf event driving the adversarial verdict")
+	cache, quick, verbose, workers := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	decision, err := hpc.ParseEvent(*event)
+	if err != nil {
+		return err
+	}
+	env, err := experiments.LoadEnv(*scenario, optionsFrom(*cache, *quick, *verbose, *workers))
+	if err != nil {
+		return err
+	}
+	det, err := loadOrFitDetector(env, *detector)
+	if err != nil {
+		return err
+	}
+
+	dataset := env.Scn.Dataset
+	srv := serve.New(env.Meas, det, serve.Config{
+		QueueSize:     *queue,
+		Workers:       *workers,
+		MaxBatch:      *maxBatch,
+		BatchWait:     *batchWait,
+		Timeout:       *timeout,
+		DecisionEvent: decision,
+		ClassName:     func(c int) string { return data.ClassName(dataset, c) },
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Graceful drain on SIGTERM/SIGINT: stop accepting, finish queued work,
+	// then close the listener.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	fmt.Fprintf(stdout, "serving %s (%s × %s) on %s — POST /detect, GET /healthz /readyz /metrics\n",
+		env.Scn.ID, env.Scn.Dataset, env.Scn.Arch, *addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "signal received, draining…")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("draining detection queue: %w", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("closing http server: %w", err)
+	}
+	fmt.Fprintln(stdout, "drained cleanly")
 	return nil
 }

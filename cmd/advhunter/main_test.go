@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDispatch drives the subcommand switch table-style: each invocation
+// must hit the right handler, produce the right exit code, and route its
+// output to the right stream — without os.Exit, which run exists to avoid.
+func TestDispatch(t *testing.T) {
+	cases := []struct {
+		name       string
+		args       []string
+		wantCode   int
+		wantStdout string // substring, "" means no requirement
+		wantStderr string
+	}{
+		{
+			name:     "no arguments is a usage error",
+			args:     nil,
+			wantCode: 2, wantStderr: "commands:",
+		},
+		{
+			name:     "list",
+			args:     []string{"list"},
+			wantCode: 0, wantStdout: "experiments:",
+		},
+		{
+			name:     "list names every scenario",
+			args:     []string{"list"},
+			wantCode: 0, wantStdout: "S3",
+		},
+		{
+			name:     "help goes to stdout",
+			args:     []string{"help"},
+			wantCode: 0, wantStdout: "run 'advhunter <command> -h' for flags.",
+		},
+		{
+			name:     "-h alias",
+			args:     []string{"-h"},
+			wantCode: 0, wantStdout: "serve",
+		},
+		{
+			name:     "--help alias",
+			args:     []string{"--help"},
+			wantCode: 0, wantStdout: "commands:",
+		},
+		{
+			name:     "unknown command",
+			args:     []string{"frobnicate"},
+			wantCode: 2, wantStderr: `unknown command "frobnicate"`,
+		},
+		{
+			name:     "experiment without id fails",
+			args:     []string{"experiment"},
+			wantCode: 1, wantStderr: "missing -id",
+		},
+		{
+			name:     "experiment with unknown id fails",
+			args:     []string{"experiment", "-id", "nope", "-cache", ""},
+			wantCode: 1, wantStderr: "nope",
+		},
+		{
+			name:     "subcommand -h exits cleanly",
+			args:     []string{"serve", "-h"},
+			wantCode: 0, wantStderr: "-detector",
+		},
+		{
+			name:     "bad flag is a command failure",
+			args:     []string{"scan", "-definitely-not-a-flag"},
+			wantCode: 1, wantStderr: "",
+		},
+		{
+			name:     "serve rejects unknown event",
+			args:     []string{"serve", "-event", "not-an-event"},
+			wantCode: 1, wantStderr: "unknown event",
+		},
+		{
+			name:     "train rejects unknown scenario",
+			args:     []string{"train", "-scenario", "S9", "-cache", ""},
+			wantCode: 1, wantStderr: "unknown scenario",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("run(%v) = %d, want %d\nstdout: %s\nstderr: %s",
+					tc.args, code, tc.wantCode, stdout.String(), stderr.String())
+			}
+			if tc.wantStdout != "" && !strings.Contains(stdout.String(), tc.wantStdout) {
+				t.Fatalf("stdout missing %q:\n%s", tc.wantStdout, stdout.String())
+			}
+			if tc.wantStderr != "" && !strings.Contains(stderr.String(), tc.wantStderr) {
+				t.Fatalf("stderr missing %q:\n%s", tc.wantStderr, stderr.String())
+			}
+		})
+	}
+}

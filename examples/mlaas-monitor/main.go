@@ -1,9 +1,12 @@
 // MLaaS monitor: AdvHunter deployed as a guard in front of a simulated
-// cloud inference service. A stream of queries arrives — mostly legitimate,
-// with bursts of adversarial probing — and the monitor decides per query,
-// from the hard label and the HPC reading of that inference, whether to
-// raise an alert. This is the deployment the paper motivates: no model
-// internals, no confidence scores, no physical access — just counters.
+// cloud inference service — now through the real serving stack. The guard
+// is fitted once and persisted (core.SaveDetector), reloaded the way a
+// fresh serving process would load it, and exposed as the HTTP JSON service
+// (internal/serve) with micro-batching and a replica pool. A stream of
+// queries — mostly legitimate, with adversarial probing mixed in — is fired
+// by eight concurrent clients, and every decision comes back over the wire.
+// Because each query carries an explicit noise index, the verdicts are
+// identical no matter how the clients interleave.
 //
 // Run with:
 //
@@ -11,8 +14,17 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
 
 	"advhunter/internal/attack"
 	"advhunter/internal/core"
@@ -21,6 +33,7 @@ import (
 	"advhunter/internal/metrics"
 	"advhunter/internal/models"
 	"advhunter/internal/rng"
+	"advhunter/internal/serve"
 	"advhunter/internal/train"
 	"advhunter/internal/uarch/hpc"
 )
@@ -44,21 +57,46 @@ func main() {
 	res := train.SGD(model, ds, cfg)
 	fmt.Printf("model ready (%.1f%% clean accuracy)\n", 100*res.TestAccuracy)
 
-	// Guard setup: offline phase on clean validation traffic.
+	// Guard setup: offline phase on clean validation traffic, then persist —
+	// fit once, serve many. A serving process only needs the artifact.
 	meas := core.NewMeasurer(engine.NewDefault(model), 77)
 	fmt.Println("guard: measuring clean validation traffic (offline phase)…")
 	val := data.MustSynth("cifar10", 10, 60, 0).Train
-	tpl := core.BuildTemplate(meas, val, ds.Classes, hpc.CoreEvents())
-	det, err := core.Fit(tpl, core.DefaultConfig())
+	tpl := core.BuildTemplate(meas.Clone(), val, ds.Classes, hpc.CoreEvents())
+	fitted, err := core.Fit(tpl, core.DefaultConfig())
 	if err != nil {
 		log.Fatalf("guard: %v", err)
 	}
-	pipe := &core.Pipeline{M: meas, D: det}
-	cm := det.EventIndex(hpc.CacheMisses)
+	dir, err := os.MkdirTemp("", "advhunter-monitor-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	artifact := filepath.Join(dir, "detector.gob")
+	if err := core.SaveDetector(artifact, fitted); err != nil {
+		log.Fatalf("guard: persisting detector: %v", err)
+	}
+	det, ok := core.TryLoadDetector(artifact)
+	if !ok {
+		log.Fatal("guard: persisted detector failed to load")
+	}
+	fmt.Printf("guard: detector persisted to and reloaded from %s\n", filepath.Base(artifact))
+
+	// Online phase: the detection service, exactly as `advhunter serve`
+	// runs it — bounded queue, micro-batching, engine-replica pool.
+	srv := serve.New(meas, det, serve.Config{
+		Workers:   4,
+		MaxBatch:  8,
+		ClassName: func(c int) string { return data.ClassName("cifar10", c) },
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+	fmt.Printf("guard: service up at %s (POST /detect)\n\n", ts.URL)
 
 	// The attacker probes the service with images steered toward 'frog'.
 	const target = 6 // "frog"
-	fmt.Printf("adversary: preparing targeted FGSM examples toward %q…\n\n",
+	fmt.Printf("adversary: preparing targeted FGSM examples toward %q…\n",
 		data.ClassName("cifar10", target))
 	atk := attack.NewTargetedFGSM(0.5, target)
 	var sources []data.Sample
@@ -83,22 +121,40 @@ func main() {
 		stream = stream[:150]
 	}
 
-	// Serve.
-	fmt.Printf("serving %d queries…\n", len(stream))
+	// Serve the stream through 8 concurrent clients. Verdicts land in
+	// stream order because each query carries its stream position as the
+	// noise index and the response echoes it back.
+	fmt.Printf("serving %d queries through 8 concurrent clients…\n", len(stream))
+	verdicts := make([]serve.Response, len(stream))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				verdicts[i] = detect(ts.URL, serve.NewRequest(stream[i].sample.X, uint64(i)))
+			}
+		}()
+	}
+	for i := range stream {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
 	var conf metrics.Confusion
 	alerts := 0
 	for i, q := range stream {
-		res := pipe.Scan(q.sample.X)
-		flagged := res.Flags[cm]
-		conf.Add(q.adversarial, flagged)
-		if flagged {
+		v := verdicts[i]
+		conf.Add(q.adversarial, v.Adversarial)
+		if v.Adversarial {
 			alerts++
 			kind := "FALSE ALARM"
 			if q.adversarial {
 				kind = "ATTACK CAUGHT"
 			}
-			fmt.Printf("  query %3d: predicted %-28q  ⚠ ALERT (%s)\n",
-				i, data.ClassName("cifar10", res.PredictedClass), kind)
+			fmt.Printf("  query %3d: predicted %-28q  ⚠ ALERT (%s)\n", i, v.ClassName, kind)
 		}
 	}
 
@@ -108,4 +164,46 @@ func main() {
 	fmt.Printf("  legitimate queries:  %d (false alarms %d)\n", conf.TN+conf.FP, conf.FP)
 	fmt.Printf("  precision %.2f  recall %.2f  F1 %.3f\n",
 		conf.Precision(), conf.Recall(), conf.F1())
+
+	// The service's own view of the traffic, from /metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		log.Fatalf("scraping metrics: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Println("\nservice metrics (excerpt):")
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if bytes.HasPrefix(line, []byte("advhunter_scans_total")) ||
+			bytes.HasPrefix(line, []byte("advhunter_flagged_total")) ||
+			bytes.HasPrefix(line, []byte("advhunter_requests_total")) {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+}
+
+// detect posts one query and decodes the verdict; any service error is
+// fatal (this is a demo stream, not production retry logic).
+func detect(url string, req serve.Request) serve.Response {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url+"/detect", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		log.Fatalf("detect: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("detect: reading response: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("detect: status %d: %s", resp.StatusCode, body)
+	}
+	var v serve.Response
+	if err := json.Unmarshal(body, &v); err != nil {
+		log.Fatalf("detect: decoding verdict: %v", err)
+	}
+	return v
 }

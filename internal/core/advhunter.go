@@ -64,6 +64,22 @@ func NewMeasurer(e *engine.Engine, noiseSeed uint64) *Measurer {
 	}
 }
 
+// Clone returns an independent measurer replica for concurrent serving: the
+// engine is cloned (shared weights, private μarch state) and the noise model,
+// seed and repetition count are copied, so MeasureAt(i, x) on a replica
+// returns exactly what the original would return for the same (i, x). The
+// sequential-call counter starts fresh; replica users must key measurements
+// explicitly through MeasureAt.
+func (m *Measurer) Clone() *Measurer {
+	return &Measurer{
+		Engine:  m.Engine.Clone(),
+		Noise:   m.Noise,
+		Seed:    m.Seed,
+		R:       m.R,
+		Workers: m.Workers,
+	}
+}
+
 // noiseAt builds the sampler for sample index i: a pure function of
 // (m.Noise, m.Seed, i).
 func (m *Measurer) noiseAt(i uint64) *hpc.Sampler {

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+
+	"advhunter/internal/gmm"
+	"advhunter/internal/persist"
+	"advhunter/internal/uarch/hpc"
+)
+
+// DetectorSchema versions the fitted-detector file format so "fit once,
+// serve many" survives format evolution: a serving process pointed at a file
+// written under an older schema (or a corrupted one) gets a load failure,
+// which every caller treats as a miss — refit and overwrite — never as a
+// fatal error and never as silently misread parameters.
+//
+// History:
+//
+//	1 — per-(category, event) univariate GMMs + 3σ thresholds (Detector),
+//	    and the diagonal multivariate fusion variant (FusionDetector).
+const DetectorSchema = 1
+
+// detectorCatDTO is one category of a serialised Detector. Unmodelled
+// categories (too few template rows) carry Modelled == false instead of the
+// in-memory nil model pointers, which gob cannot encode.
+type detectorCatDTO struct {
+	Modelled   bool
+	Models     []gmm.Model // by value; one per event, empty when !Modelled
+	Thresholds []float64
+}
+
+// detectorDTO is the serialisable form of Detector. The fit-time config is
+// deliberately not persisted: a loaded detector is a frozen online-phase
+// artifact (models + thresholds); refitting requires the template anyway.
+type detectorDTO struct {
+	Events []hpc.Event
+	Cats   []detectorCatDTO
+}
+
+// fusionCatDTO is one category of a serialised FusionDetector, including the
+// unexported per-category standardisation that scoring needs online.
+type fusionCatDTO struct {
+	Modelled  bool
+	Model     gmm.MultiModel
+	Threshold float64
+	Mean, Std []float64
+}
+
+// fusionDTO is the serialisable form of FusionDetector.
+type fusionDTO struct {
+	Events []hpc.Event
+	Sigma  float64
+	Cats   []fusionCatDTO
+}
+
+// modelled reports whether category c of the detector has fitted models
+// (Fit leaves the whole row nil otherwise).
+func (d *Detector) modelled(c int) bool {
+	return len(d.Models[c]) > 0 && d.Models[c][0] != nil
+}
+
+// SaveDetector atomically writes the fitted detector to path.
+func SaveDetector(path string, d *Detector) error {
+	dto := detectorDTO{Events: d.Events, Cats: make([]detectorCatDTO, len(d.Models))}
+	for c := range d.Models {
+		if !d.modelled(c) {
+			continue
+		}
+		cat := detectorCatDTO{
+			Modelled:   true,
+			Models:     make([]gmm.Model, len(d.Events)),
+			Thresholds: append([]float64(nil), d.Thresholds[c]...),
+		}
+		for n := range d.Events {
+			cat.Models[n] = *d.Models[c][n]
+		}
+		dto.Cats[c] = cat
+	}
+	return persist.Save(path, DetectorSchema, dto)
+}
+
+// LoadDetector reads a fitted detector from path. Corrupt, truncated, and
+// stale-schema files return an error; use TryLoadDetector for miss
+// semantics.
+func LoadDetector(path string) (*Detector, error) {
+	var dto detectorDTO
+	if err := persist.Load(path, DetectorSchema, &dto); err != nil {
+		return nil, err
+	}
+	if len(dto.Events) == 0 || len(dto.Cats) == 0 {
+		return nil, fmt.Errorf("core: detector file %s is structurally empty", path)
+	}
+	d := &Detector{
+		Events:     dto.Events,
+		Models:     make([][]*gmm.Model, len(dto.Cats)),
+		Thresholds: make([][]float64, len(dto.Cats)),
+	}
+	for c, cat := range dto.Cats {
+		d.Models[c] = make([]*gmm.Model, len(dto.Events))
+		d.Thresholds[c] = make([]float64, len(dto.Events))
+		if !cat.Modelled {
+			continue
+		}
+		if len(cat.Models) != len(dto.Events) || len(cat.Thresholds) != len(dto.Events) {
+			return nil, fmt.Errorf("core: detector file %s: category %d has %d models for %d events",
+				path, c, len(cat.Models), len(dto.Events))
+		}
+		for n := range dto.Events {
+			m := cat.Models[n]
+			if m.K() == 0 || len(m.Means) != m.K() || len(m.Vars) != m.K() {
+				return nil, fmt.Errorf("core: detector file %s: category %d event %d model is malformed", path, c, n)
+			}
+			d.Models[c][n] = &m
+			d.Thresholds[c][n] = cat.Thresholds[n]
+		}
+	}
+	return d, nil
+}
+
+// TryLoadDetector loads a fitted detector, treating every failure — missing
+// file, corruption, stale schema — as a miss (ok == false). This is the
+// load path serving and scanning use: a miss means "fit from the template
+// and overwrite", mirroring how the experiment caches regenerate.
+func TryLoadDetector(path string) (d *Detector, ok bool) {
+	d, err := LoadDetector(path)
+	return d, err == nil
+}
+
+// SaveFusion atomically writes the fitted fusion detector to path.
+func SaveFusion(path string, f *FusionDetector) error {
+	dto := fusionDTO{Events: f.Events, Sigma: f.sigma, Cats: make([]fusionCatDTO, len(f.Models))}
+	for c := range f.Models {
+		if f.Models[c] == nil {
+			continue
+		}
+		dto.Cats[c] = fusionCatDTO{
+			Modelled:  true,
+			Model:     *f.Models[c],
+			Threshold: f.Thresholds[c],
+			Mean:      append([]float64(nil), f.mean[c]...),
+			Std:       append([]float64(nil), f.std[c]...),
+		}
+	}
+	return persist.Save(path, DetectorSchema, dto)
+}
+
+// LoadFusion reads a fitted fusion detector from path.
+func LoadFusion(path string) (*FusionDetector, error) {
+	var dto fusionDTO
+	if err := persist.Load(path, DetectorSchema, &dto); err != nil {
+		return nil, err
+	}
+	if len(dto.Events) == 0 || len(dto.Cats) == 0 {
+		return nil, fmt.Errorf("core: fusion file %s is structurally empty", path)
+	}
+	f := &FusionDetector{
+		Events:     dto.Events,
+		Models:     make([]*gmm.MultiModel, len(dto.Cats)),
+		Thresholds: make([]float64, len(dto.Cats)),
+		mean:       make([][]float64, len(dto.Cats)),
+		std:        make([][]float64, len(dto.Cats)),
+		sigma:      dto.Sigma,
+	}
+	for c, cat := range dto.Cats {
+		if !cat.Modelled {
+			continue
+		}
+		if len(cat.Mean) != len(dto.Events) || len(cat.Std) != len(dto.Events) || cat.Model.D != len(dto.Events) {
+			return nil, fmt.Errorf("core: fusion file %s: category %d standardisation is malformed", path, c)
+		}
+		m := cat.Model
+		f.Models[c] = &m
+		f.Thresholds[c] = cat.Threshold
+		f.mean[c] = cat.Mean
+		f.std[c] = cat.Std
+	}
+	return f, nil
+}
+
+// TryLoadFusion loads a fitted fusion detector with miss semantics.
+func TryLoadFusion(path string) (f *FusionDetector, ok bool) {
+	f, err := LoadFusion(path)
+	return f, err == nil
+}

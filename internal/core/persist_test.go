@@ -1,0 +1,145 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"advhunter/internal/persist"
+	"advhunter/internal/uarch/hpc"
+)
+
+// TestDetectorRoundTrip: a saved-then-loaded detector must agree exactly
+// with the in-memory one on every clean and adversarial measurement — same
+// scores bit-for-bit, same flags — because serving loads the artifact
+// instead of refitting.
+func TestDetectorRoundTrip(t *testing.T) {
+	f := getE2E(t)
+	path := filepath.Join(t.TempDir(), "detector.gob")
+	if err := SaveDetector(path, f.det); err != nil {
+		t.Fatalf("SaveDetector: %v", err)
+	}
+	loaded, err := LoadDetector(path)
+	if err != nil {
+		t.Fatalf("LoadDetector: %v", err)
+	}
+	if len(loaded.Events) != len(f.det.Events) {
+		t.Fatalf("loaded %d events, want %d", len(loaded.Events), len(f.det.Events))
+	}
+	for _, set := range [][]Measurement{f.clean, f.adv} {
+		for i, m := range set {
+			want := f.det.Detect(m.Pred, m.Counts)
+			got := loaded.Detect(m.Pred, m.Counts)
+			if want.Modelled != got.Modelled || want.PredictedClass != got.PredictedClass {
+				t.Fatalf("measurement %d: modelled/class mismatch: %+v vs %+v", i, got, want)
+			}
+			for n := range want.Scores {
+				if want.Scores[n] != got.Scores[n] {
+					t.Fatalf("measurement %d event %d: score %v vs %v", i, n, got.Scores[n], want.Scores[n])
+				}
+				if want.Flags[n] != got.Flags[n] {
+					t.Fatalf("measurement %d event %d: flag %v vs %v", i, n, got.Flags[n], want.Flags[n])
+				}
+			}
+		}
+	}
+}
+
+// TestDetectorLoadMissSemantics: missing, corrupted and stale-schema files
+// must be misses (TryLoadDetector ok == false), never panics and never
+// half-loaded detectors.
+func TestDetectorLoadMissSemantics(t *testing.T) {
+	dir := t.TempDir()
+
+	if _, ok := TryLoadDetector(filepath.Join(dir, "absent.gob")); ok {
+		t.Fatal("missing file must be a miss")
+	}
+
+	corrupt := filepath.Join(dir, "corrupt.gob")
+	if err := os.WriteFile(corrupt, []byte("garbage bytes, not an envelope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := TryLoadDetector(corrupt); ok {
+		t.Fatal("corrupt file must be a miss")
+	}
+
+	// A well-formed envelope written under a different schema number.
+	stale := filepath.Join(dir, "stale.gob")
+	if err := persist.Save(stale, DetectorSchema+1, detectorDTO{Events: hpc.CoreEvents()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := TryLoadDetector(stale); ok {
+		t.Fatal("stale-schema file must be a miss")
+	}
+
+	// A current-schema envelope whose payload is a different artifact class.
+	foreign := filepath.Join(dir, "foreign.gob")
+	if err := persist.Save(foreign, DetectorSchema, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := TryLoadDetector(foreign); ok {
+		t.Fatal("foreign payload must be a miss")
+	}
+}
+
+// TestDetectorTruncatedFileIsMiss: a torn write (simulated by truncation)
+// must also read as a miss.
+func TestDetectorTruncatedFileIsMiss(t *testing.T) {
+	f := getE2E(t)
+	path := filepath.Join(t.TempDir(), "detector.gob")
+	if err := SaveDetector(path, f.det); err != nil {
+		t.Fatalf("SaveDetector: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := TryLoadDetector(path); ok {
+		t.Fatal("truncated file must be a miss")
+	}
+}
+
+// TestFusionRoundTrip mirrors the scalar round trip for the fusion variant:
+// scores and flags from a reloaded FusionDetector match exactly.
+func TestFusionRoundTrip(t *testing.T) {
+	f := getE2E(t)
+	tpl := BuildTemplate(f.meas.Clone(), f.ds.Train, f.ds.Classes, hpc.CoreEvents())
+	fus, err := FitFusion(tpl, []hpc.Event{hpc.CacheMisses, hpc.CacheReferences}, DefaultConfig())
+	if err != nil {
+		t.Fatalf("FitFusion: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "fusion.gob")
+	if err := SaveFusion(path, fus); err != nil {
+		t.Fatalf("SaveFusion: %v", err)
+	}
+	loaded, ok := TryLoadFusion(path)
+	if !ok {
+		t.Fatal("TryLoadFusion missed a freshly saved file")
+	}
+	for i, m := range append(append([]Measurement(nil), f.clean...), f.adv...) {
+		wantScore, wantFlag := fus.Detect(m.Pred, m.Counts)
+		gotScore, gotFlag := loaded.Detect(m.Pred, m.Counts)
+		if wantScore != gotScore || wantFlag != gotFlag {
+			t.Fatalf("measurement %d: (%v,%v) vs (%v,%v)", i, gotScore, gotFlag, wantScore, wantFlag)
+		}
+	}
+}
+
+// TestMeasurerCloneAgrees: a cloned measurer must reproduce the original's
+// MeasureAt exactly for the same sample index — the property serving's
+// worker replicas rely on.
+func TestMeasurerCloneAgrees(t *testing.T) {
+	f := getE2E(t)
+	clone := f.meas.Clone()
+	for i := 0; i < 5 && i < len(f.ds.Test); i++ {
+		x := f.ds.Test[i].X
+		p1, c1 := f.meas.MeasureAt(uint64(i), x)
+		p2, c2 := clone.MeasureAt(uint64(i), x)
+		if p1 != p2 || c1 != c2 {
+			t.Fatalf("sample %d: clone diverged: (%d,%v) vs (%d,%v)", i, p2, c2, p1, c1)
+		}
+	}
+}

@@ -1,11 +1,9 @@
 package experiments
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
-	"os"
-	"path/filepath"
+
+	"advhunter/internal/persist"
 )
 
 // cacheSchema identifies the byte layout and semantics of the experiment
@@ -25,66 +23,16 @@ const cacheSchema = 2
 // never read once the schema moves on).
 var cacheVersionDir = fmt.Sprintf("v%d", cacheSchema)
 
-// cacheEnvelope wraps every cached payload with its schema tag. Decoding a
-// pre-envelope or foreign file fails, which callers treat as a cache miss.
-type cacheEnvelope struct {
-	Schema  int
-	Payload []byte
-}
-
 // saveGob atomically writes v (gob-encoded, schema-tagged) to path, creating
-// directories. The temporary file gets a unique name so concurrent writers
-// targeting different paths in one directory never collide.
+// directories. The envelope and atomic-write machinery live in
+// internal/persist, shared with detector persistence.
 func saveGob(path string, v any) error {
-	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
-		return fmt.Errorf("experiments: encoding %s: %w", path, err)
-	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(cacheEnvelope{Schema: cacheSchema, Payload: payload.Bytes()}); err != nil {
-		return fmt.Errorf("experiments: enveloping %s: %w", path, err)
-	}
-	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(buf.Bytes()); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return persist.Save(path, cacheSchema, v)
 }
 
 // loadGob reads a schema-tagged gob file into v. Corrupt files, pre-envelope
 // files, and files written under a different schema all return an error —
 // callers treat any error as a cache miss and regenerate.
 func loadGob(path string, v any) error {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	var env cacheEnvelope
-	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&env); err != nil {
-		return fmt.Errorf("experiments: decoding %s: %w", path, err)
-	}
-	if env.Schema != cacheSchema {
-		return fmt.Errorf("experiments: %s has cache schema %d, want %d", path, env.Schema, cacheSchema)
-	}
-	if err := gob.NewDecoder(bytes.NewReader(env.Payload)).Decode(v); err != nil {
-		return fmt.Errorf("experiments: decoding %s payload: %w", path, err)
-	}
-	return nil
+	return persist.Load(path, cacheSchema, v)
 }

@@ -1,0 +1,79 @@
+// Package persist is the repository's on-disk artifact format: gob payloads
+// wrapped in a schema-tagged envelope and written atomically. Experiment
+// caches and fitted-detector files share it, so every artifact class gets
+// the same guarantees — a reader never sees a torn file, and a file written
+// under an older (or foreign) schema fails to load instead of being misread,
+// which callers uniformly treat as a cache miss and regenerate.
+package persist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// envelope wraps every persisted payload with its schema tag. Decoding a
+// pre-envelope or foreign file fails, which callers treat as a miss.
+type envelope struct {
+	Schema  int
+	Payload []byte
+}
+
+// Save atomically writes v (gob-encoded, tagged with schema) to path,
+// creating directories. The temporary file gets a unique name so concurrent
+// writers targeting different paths in one directory never collide.
+func Save(path string, schema int, v any) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return fmt.Errorf("persist: encoding %s: %w", path, err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(envelope{Schema: schema, Payload: payload.Bytes()}); err != nil {
+		return fmt.Errorf("persist: enveloping %s: %w", path, err)
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Load reads a schema-tagged gob file into v. Corrupt files, pre-envelope
+// files, and files written under a different schema all return an error —
+// callers treat any error as a cache miss and regenerate.
+func Load(path string, schema int, v any) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&env); err != nil {
+		return fmt.Errorf("persist: decoding %s: %w", path, err)
+	}
+	if env.Schema != schema {
+		return fmt.Errorf("persist: %s has schema %d, want %d", path, env.Schema, schema)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(env.Payload)).Decode(v); err != nil {
+		return fmt.Errorf("persist: decoding %s payload: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"advhunter/internal/uarch/hpc"
+)
+
+// latencyBuckets are the request-latency histogram bounds in seconds,
+// roughly logarithmic from 1 ms to 10 s (a simulated inference takes
+// milliseconds; queueing under load dominates the tail).
+var latencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// batchBuckets are the micro-batch-size histogram bounds.
+var batchBuckets = []float64{1, 2, 4, 8, 16, 32}
+
+// metrics is the server's instrumentation, exposed at /metrics in
+// Prometheus text exposition format. A mutex (not per-counter atomics)
+// keeps the scrape a consistent snapshot; the hot path takes it twice per
+// request for nanoseconds each.
+type metrics struct {
+	mu sync.Mutex
+
+	requests map[int]uint64 // by HTTP status code
+
+	latencyCount uint64
+	latencySum   float64
+	latencyBins  []uint64 // cumulative at scrape time; stored per-bucket here
+
+	batchCount uint64
+	batchSum   float64
+	batchBins  []uint64
+
+	scans   uint64 // detection decisions made
+	flagged uint64 // decisions with the decision event flagged
+	flags   map[hpc.Event]uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:    make(map[int]uint64),
+		latencyBins: make([]uint64, len(latencyBuckets)),
+		batchBins:   make([]uint64, len(batchBuckets)),
+		flags:       make(map[hpc.Event]uint64),
+	}
+}
+
+// observeRequest records one finished HTTP request.
+func (m *metrics) observeRequest(status int, d time.Duration) {
+	sec := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[status]++
+	m.latencyCount++
+	m.latencySum += sec
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			m.latencyBins[i]++
+			break
+		}
+	}
+}
+
+// observeBatch records one processed micro-batch.
+func (m *metrics) observeBatch(size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batchCount++
+	m.batchSum += float64(size)
+	for i, ub := range batchBuckets {
+		if float64(size) <= ub {
+			m.batchBins[i]++
+			break
+		}
+	}
+}
+
+// observeDecision records one detection decision and its per-event flags.
+func (m *metrics) observeDecision(events []hpc.Event, flags []bool, adversarial bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.scans++
+	if adversarial {
+		m.flagged++
+	}
+	for n, f := range flags {
+		if f {
+			m.flags[events[n]]++
+		}
+	}
+}
+
+// writeHistogram renders one Prometheus histogram (cumulative buckets).
+func writeHistogram(w io.Writer, name string, buckets []float64, bins []uint64, count uint64, sum float64) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	cum := uint64(0)
+	for i, ub := range buckets {
+		cum += bins[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", ub), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, count)
+}
+
+// render writes the full exposition. queueDepth and queueCap are sampled by
+// the caller (they are properties of the server, not of this struct).
+func (m *metrics) render(w io.Writer, queueDepth, queueCap int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP advhunter_requests_total HTTP requests by status code.")
+	fmt.Fprintln(w, "# TYPE advhunter_requests_total counter")
+	codes := make([]int, 0, len(m.requests))
+	for c := range m.requests {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(w, "advhunter_requests_total{code=\"%d\"} %d\n", c, m.requests[c])
+	}
+
+	fmt.Fprintln(w, "# HELP advhunter_scans_total Detection decisions made.")
+	fmt.Fprintln(w, "# TYPE advhunter_scans_total counter")
+	fmt.Fprintf(w, "advhunter_scans_total %d\n", m.scans)
+
+	fmt.Fprintln(w, "# HELP advhunter_flagged_total Decisions flagged adversarial by the decision event.")
+	fmt.Fprintln(w, "# TYPE advhunter_flagged_total counter")
+	fmt.Fprintf(w, "advhunter_flagged_total %d\n", m.flagged)
+
+	fmt.Fprintln(w, "# HELP advhunter_flags_total Per-event threshold exceedances.")
+	fmt.Fprintln(w, "# TYPE advhunter_flags_total counter")
+	evs := make([]hpc.Event, 0, len(m.flags))
+	for e := range m.flags {
+		evs = append(evs, e)
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i] < evs[j] })
+	for _, e := range evs {
+		fmt.Fprintf(w, "advhunter_flags_total{event=%q} %d\n", e, m.flags[e])
+	}
+
+	fmt.Fprintln(w, "# HELP advhunter_request_duration_seconds End-to-end request latency.")
+	writeHistogram(w, "advhunter_request_duration_seconds", latencyBuckets, m.latencyBins, m.latencyCount, m.latencySum)
+
+	fmt.Fprintln(w, "# HELP advhunter_batch_size Micro-batch sizes dispatched to the worker pool.")
+	writeHistogram(w, "advhunter_batch_size", batchBuckets, m.batchBins, m.batchCount, m.batchSum)
+
+	fmt.Fprintln(w, "# HELP advhunter_queue_depth Requests waiting in the admission queue.")
+	fmt.Fprintln(w, "# TYPE advhunter_queue_depth gauge")
+	fmt.Fprintf(w, "advhunter_queue_depth %d\n", queueDepth)
+
+	fmt.Fprintln(w, "# HELP advhunter_queue_capacity Admission queue capacity.")
+	fmt.Fprintln(w, "# TYPE advhunter_queue_capacity gauge")
+	fmt.Fprintf(w, "advhunter_queue_capacity %d\n", queueCap)
+}

@@ -1,0 +1,351 @@
+// Package serve is the online deployment of AdvHunter: a long-lived HTTP
+// JSON service that scores every inference query from its simulated HPC
+// reading, the MLaaS-guard shape the paper motivates (Section 1).
+//
+// Architecture: requests are admitted into a bounded queue (backpressure:
+// a full queue answers 429 with Retry-After), a dispatcher gathers them
+// into micro-batches (up to MaxBatch, lingering at most BatchWait), and
+// each batch fans out over a pool of engine replicas (core.Measurer.Clone,
+// scheduled by internal/parallel). Determinism survives the concurrency:
+// each query's measurement-noise stream is keyed by an explicit request
+// index through Measurer.MeasureAt, so its reading — and therefore its
+// detection decision — is a pure function of (model, input, seed, index),
+// independent of batching, scheduling, and worker assignment.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"advhunter/internal/core"
+	"advhunter/internal/parallel"
+	"advhunter/internal/tensor"
+	"advhunter/internal/uarch/hpc"
+)
+
+// Config tunes the service. The zero value serves with sensible defaults.
+type Config struct {
+	// QueueSize bounds the admission queue (default 64). A full queue is
+	// the backpressure signal: new requests get 429 + Retry-After.
+	QueueSize int
+	// Workers is the engine-replica pool size (default GOMAXPROCS, min 1).
+	Workers int
+	// MaxBatch caps one micro-batch (default 8).
+	MaxBatch int
+	// BatchWait is the micro-batcher's linger: after the first request of a
+	// batch arrives, it waits at most this long for more (default 2ms).
+	BatchWait time.Duration
+	// Timeout is the per-request budget including queueing (default 10s);
+	// an expired request answers 504 and is dropped from its batch.
+	Timeout time.Duration
+	// DecisionEvent drives the top-level "adversarial" verdict (default
+	// cache-misses, the paper's strongest event). If the detector does not
+	// model it, any-event OR fusion is used instead.
+	DecisionEvent hpc.Event
+	// ClassName optionally renders class names in responses.
+	ClassName func(int) string
+	// RetryAfter is the Retry-After hint on 429s, in seconds (default 1).
+	RetryAfter int
+
+	// gate, when non-nil, blocks batch processing until it is closed — a
+	// test-only hook for filling the queue deterministically. It must be
+	// set before New (the dispatcher reads it once at startup).
+	gate chan struct{}
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = parallel.Workers(0, 0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.BatchWait <= 0 {
+		c.BatchWait = 2 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.DecisionEvent == 0 {
+		c.DecisionEvent = hpc.CacheMisses
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 1
+	}
+	return c
+}
+
+// job is one admitted request travelling queue → batch → worker.
+type job struct {
+	idx uint64
+	x   *tensor.Tensor
+	ctx context.Context
+	out chan core.Result // buffered(1); worker send never blocks
+}
+
+// Server is the online detection service. Build with New, expose with
+// Handler, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	det     *core.Detector
+	workers []*core.Measurer
+	shape   [3]int
+	decIdx  int // index of DecisionEvent in det.Events, -1 if unmodelled
+
+	queue chan *job
+	next  atomic.Uint64 // server-assigned indices for index-less requests
+
+	draining  atomic.Bool
+	enqueuers sync.WaitGroup // handlers between admission check and enqueue
+	done      chan struct{}  // closed when the dispatcher exits
+
+	stats *metrics
+	mux   *http.ServeMux
+	gate  chan struct{} // from Config.gate; see there
+}
+
+// New builds and starts the service around a measurer (whose engine defines
+// the served model; New takes ownership and clones it Workers-1 times) and
+// a fitted detector — typically loaded with core.TryLoadDetector, the "fit
+// once, serve many" path.
+func New(m *core.Measurer, det *core.Detector, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	meta := m.Engine.Model.Meta
+	s := &Server{
+		cfg:     cfg,
+		det:     det,
+		workers: make([]*core.Measurer, cfg.Workers),
+		shape:   [3]int{meta.InC, meta.InH, meta.InW},
+		decIdx:  det.EventIndex(cfg.DecisionEvent),
+		queue:   make(chan *job, cfg.QueueSize),
+		done:    make(chan struct{}),
+		stats:   newMetrics(),
+		gate:    cfg.gate,
+	}
+	s.workers[0] = m
+	for w := 1; w < cfg.Workers; w++ {
+		s.workers[w] = m.Clone()
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/detect", s.handleDetect)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	go s.dispatch()
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the service: new detection requests are rejected with
+// 503, queued requests are processed to completion, and the dispatcher
+// exits. It returns early with the context's error if draining outlives it.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		// Already draining; just wait for the dispatcher.
+		select {
+		case <-s.done:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	s.enqueuers.Wait() // no handler is still about to enqueue
+	close(s.queue)
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// dispatch is the micro-batcher: it gathers up to MaxBatch queued jobs
+// (lingering at most BatchWait after the first) and hands each batch to the
+// replica pool. It exits when the queue is closed and drained.
+func (s *Server) dispatch() {
+	defer close(s.done)
+	for {
+		j, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := []*job{j}
+		timer := time.NewTimer(s.cfg.BatchWait)
+	gather:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case j2, ok := <-s.queue:
+				if !ok {
+					break gather
+				}
+				batch = append(batch, j2)
+			case <-timer.C:
+				break gather
+			}
+		}
+		timer.Stop()
+		s.process(batch)
+	}
+}
+
+// process measures and scores one micro-batch on the replica pool. Requests
+// whose deadline expired while queued are dropped (their handler has
+// already answered 504). Each job's noise stream is keyed by its index, so
+// results do not depend on batch composition or worker assignment.
+func (s *Server) process(batch []*job) {
+	if s.gate != nil {
+		<-s.gate
+	}
+	live := batch[:0]
+	for _, j := range batch {
+		if j.ctx.Err() == nil {
+			live = append(live, j)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	s.stats.observeBatch(len(live))
+	parallel.MapWorkers(len(s.workers), live, func(worker, _ int, j *job) struct{} {
+		pred, counts := s.workers[worker].MeasureAt(j.idx, j.x)
+		res := s.det.Detect(pred, counts)
+		j.out <- res
+		return struct{}{}
+	})
+}
+
+// adversarial applies the service's decision rule to one result.
+func (s *Server) adversarial(res core.Result) bool {
+	if s.decIdx >= 0 {
+		return res.Flags[s.decIdx]
+	}
+	return res.AnyFlag()
+}
+
+// handleDetect is POST /detect: decode, validate, admit, await the verdict.
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	status := func(code int) {
+		s.stats.observeRequest(code, time.Since(start))
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "use POST")
+		status(http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "request body too large or unreadable")
+		status(http.StatusBadRequest)
+		return
+	}
+	req, err := DecodeRequest(body, s.shape)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		status(http.StatusBadRequest)
+		return
+	}
+
+	idx := s.next.Add(1) - 1
+	if req.Index != nil {
+		idx = *req.Index
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	j := &job{idx: idx, x: req.Tensor(), ctx: ctx, out: make(chan core.Result, 1)}
+
+	// Admission. The WaitGroup brackets the draining check and the enqueue
+	// so Shutdown can close the queue only after every in-flight handler
+	// has either enqueued or bailed.
+	s.enqueuers.Add(1)
+	if s.draining.Load() {
+		s.enqueuers.Done()
+		s.writeError(w, http.StatusServiceUnavailable, "draining")
+		status(http.StatusServiceUnavailable)
+		return
+	}
+	select {
+	case s.queue <- j:
+		s.enqueuers.Done()
+	default:
+		s.enqueuers.Done()
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.cfg.RetryAfter))
+		s.writeError(w, http.StatusTooManyRequests, "queue full")
+		status(http.StatusTooManyRequests)
+		return
+	}
+
+	select {
+	case res := <-j.out:
+		resp := s.response(idx, res)
+		s.stats.observeDecision(s.det.Events, res.Flags, resp.Adversarial)
+		s.writeJSON(w, http.StatusOK, resp)
+		status(http.StatusOK)
+	case <-ctx.Done():
+		s.writeError(w, http.StatusGatewayTimeout, "detection timed out")
+		status(http.StatusGatewayTimeout)
+	}
+}
+
+// response renders one detection result.
+func (s *Server) response(idx uint64, res core.Result) Response {
+	resp := Response{
+		Index:          idx,
+		PredictedClass: res.PredictedClass,
+		Modelled:       res.Modelled,
+		Adversarial:    s.adversarial(res),
+		Scores:         make(map[string]float64, len(s.det.Events)),
+		Flags:          make(map[string]bool, len(s.det.Events)),
+	}
+	if s.cfg.ClassName != nil {
+		resp.ClassName = s.cfg.ClassName(res.PredictedClass)
+	}
+	for n, e := range s.det.Events {
+		resp.Scores[e.String()] = res.Scores[n]
+		resp.Flags[e.String()] = res.Flags[n]
+	}
+	return resp
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ready\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.stats.render(w, len(s.queue), cap(s.queue))
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	s.writeJSON(w, code, errorResponse{Error: msg})
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # Repository verification: the tier-1 gate plus the race-detector pass over
 # the packages that fan out over goroutines (the measurement pipeline, its
-# engine replicas, and the parallel primitive itself). Full ./... under -race
-# is too slow for CI; the concurrency all lives behind these three packages.
+# engine replicas, the parallel primitive, and the online serving layer).
+# Full ./... under -race is too slow for CI; the concurrency all lives
+# behind these four packages.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -12,10 +13,14 @@ go build ./...
 echo "== vet =="
 go vet ./...
 
+echo "== examples (build smoke) =="
+go build ./examples/...
+go vet ./examples/...
+
 echo "== test =="
 go test ./...
 
-echo "== race (parallel pipeline) =="
-go test -race ./internal/parallel ./internal/core ./internal/engine
+echo "== race (parallel pipeline + serving) =="
+go test -race ./internal/parallel ./internal/core ./internal/engine ./internal/serve
 
 echo "verify: OK"
