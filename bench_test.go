@@ -94,6 +94,10 @@ func BenchmarkAblationNoise(b *testing.B) { runExperiment(b, "ablation-noise") }
 // (extension).
 func BenchmarkAblationDetectors(b *testing.B) { runExperiment(b, "ablation-detectors") }
 
+// BenchmarkBackendComparison runs every registered detector backend on one
+// workload (extension).
+func BenchmarkBackendComparison(b *testing.B) { runExperiment(b, "backend-comparison") }
+
 // BenchmarkAblationCoRunner sweeps shared-LLC co-runner contention
 // (extension).
 func BenchmarkAblationCoRunner(b *testing.B) { runExperiment(b, "ablation-corunner") }

@@ -9,8 +9,9 @@
 //	advhunter experiment -id table2 [-cache DIR] [-quick] [-v]
 //	advhunter train -scenario S2 [-cache DIR]
 //	advhunter attack -scenario S2 -kind fgsm -eps 0.5 -targeted [-n 60]
-//	advhunter scan -scenario S2 [-n 20] [-detector FILE]
-//	advhunter serve -scenario S2 -addr :8080 [-detector FILE]
+//	advhunter fit -scenario S2 -detector FILE [-backend kde]
+//	advhunter scan -scenario S2 [-n 20] [-detector FILE] [-backend gmm]
+//	advhunter serve -scenario S2 -addr :8080 [-detector FILE] [-backend gmm]
 package main
 
 import (
@@ -27,8 +28,8 @@ import (
 	"syscall"
 	"time"
 
-	"advhunter/internal/core"
 	"advhunter/internal/data"
+	"advhunter/internal/detect"
 	"advhunter/internal/experiments"
 	"advhunter/internal/serve"
 	"advhunter/internal/uarch/hpc"
@@ -55,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdTrain(args[1:], stdout, stderr)
 	case "attack":
 		err = cmdAttack(args[1:], stdout, stderr)
+	case "fit":
+		err = cmdFit(args[1:], stdout, stderr)
 	case "scan":
 		err = cmdScan(args[1:], stdout, stderr)
 	case "serve":
@@ -85,6 +88,7 @@ commands:
   experiment  run one experiment by id (-id table2)
   train       train or load one scenario model (-scenario S2)
   attack      craft adversarial examples and report attack statistics
+  fit         fit a detector backend and save the artifact (-detector FILE)
   scan        run the deployed pipeline on test images and print decisions
   serve       run the online detection service (HTTP JSON, /detect)
 
@@ -108,31 +112,66 @@ func optionsFrom(cache string, quick, verbose bool, workers int) experiments.Opt
 	return experiments.Options{CacheDir: cache, Quick: quick, Log: log, Workers: workers}
 }
 
+// detectorOpts holds the detector-selection flags shared by fit, scan and
+// serve — one registration point instead of three diverging copies.
+type detectorOpts struct {
+	path    *string
+	backend *string
+	seed    *uint64
+}
+
+func detectorFlags(fs *flag.FlagSet) detectorOpts {
+	return detectorOpts{
+		path:    fs.String("detector", "", "fitted-detector file: loaded if valid (any backend), refitted and saved on a miss"),
+		backend: fs.String("backend", "gmm", fmt.Sprintf("detector backend to fit on a miss (%v)", detect.Kinds())),
+		seed:    fs.Uint64("seed", 1, "mixture-fitting seed used when refitting"),
+	}
+}
+
+// config validates the selected backend and builds the fit configuration.
+func (o detectorOpts) config() (detect.Config, error) {
+	if _, ok := detect.Lookup(*o.backend); !ok {
+		return detect.Config{}, fmt.Errorf("unknown backend %q (have %v)", *o.backend, detect.Kinds())
+	}
+	cfg := detect.DefaultConfig()
+	cfg.GMM.Seed = *o.seed
+	return cfg, nil
+}
+
 // loadOrFitDetector implements the "fit once, serve many" workflow: a valid
-// artifact at path is loaded; a missing, corrupt or stale-schema file is a
-// miss — the detector is refitted from the scenario's validation template
-// and the artifact is (re)written for the next process.
-func loadOrFitDetector(env *experiments.Env, path string) (*core.Detector, error) {
+// artifact at path is loaded (whatever backend wrote it); a missing, corrupt
+// or stale-schema file is a miss — the selected backend is refitted from the
+// scenario's validation template and the artifact is (re)written for the
+// next process.
+func loadOrFitDetector(env *experiments.Env, o detectorOpts) (*detect.Fitted, error) {
 	logf := func(format string, args ...any) {
 		if env.Opts.Log != nil {
 			fmt.Fprintf(env.Opts.Log, format+"\n", args...)
 		}
 	}
+	path := *o.path
 	if path != "" {
-		if det, ok := core.TryLoadDetector(path); ok {
-			logf("[%s] loaded detector from %s", env.Scn.ID, path)
+		if det, ok := detect.TryLoad(path); ok {
+			logf("[%s] loaded %s detector from %s", env.Scn.ID, det.Kind(), path)
+			if det.Kind() != *o.backend {
+				logf("[%s] note: artifact backend %q overrides -backend %q", env.Scn.ID, det.Kind(), *o.backend)
+			}
 			return det, nil
 		}
 	}
-	det, err := env.Detector()
+	cfg, err := o.config()
+	if err != nil {
+		return nil, err
+	}
+	det, err := env.DetectorKind(*o.backend, cfg)
 	if err != nil {
 		return nil, err
 	}
 	if path != "" {
-		if err := core.SaveDetector(path, det); err != nil {
+		if err := detect.Save(path, det); err != nil {
 			return nil, fmt.Errorf("saving detector to %s: %w", path, err)
 		}
-		logf("[%s] fitted detector and saved it to %s", env.Scn.ID, path)
+		logf("[%s] fitted %s detector and saved it to %s", env.Scn.ID, *o.backend, path)
 	}
 	return det, nil
 }
@@ -259,13 +298,46 @@ func cmdAttack(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+func cmdFit(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scenario := fs.String("scenario", "S2", "scenario id")
+	dopts := detectorFlags(fs)
+	cache, quick, verbose, workers := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dopts.path == "" {
+		return fmt.Errorf("missing -detector (the artifact file to write)")
+	}
+	cfg, err := dopts.config()
+	if err != nil {
+		return err
+	}
+	env, err := experiments.LoadEnv(*scenario, optionsFrom(*cache, *quick, *verbose, *workers))
+	if err != nil {
+		return err
+	}
+	det, err := env.DetectorKind(*dopts.backend, cfg)
+	if err != nil {
+		return err
+	}
+	if err := detect.Save(*dopts.path, det); err != nil {
+		return fmt.Errorf("saving detector to %s: %w", *dopts.path, err)
+	}
+	fmt.Fprintf(stdout, "fitted %s detector for %s: %d channels, %d/%d classes modelled\n",
+		det.Kind(), env.Scn.ID, len(det.Channels()), det.ModelledClasses(), det.Classes())
+	fmt.Fprintf(stdout, "saved to %s\n", *dopts.path)
+	return nil
+}
+
 func cmdScan(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("scan", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	scenario := fs.String("scenario", "S2", "scenario id")
 	n := fs.Int("n", 10, "number of test images to scan (clean + adversarial)")
 	eps := fs.Float64("eps", 0.5, "strength of the demonstration attack")
-	detector := fs.String("detector", "", "fitted-detector file: loaded if valid, refitted and saved on a miss")
+	dopts := detectorFlags(fs)
 	cache, quick, verbose, workers := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -275,20 +347,19 @@ func cmdScan(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	det, err := loadOrFitDetector(env, *detector)
+	det, err := loadOrFitDetector(env, dopts)
 	if err != nil {
 		return err
 	}
-	pipe := &core.Pipeline{M: env.Meas, D: det}
-	cmIdx := det.EventIndex(hpc.CacheMisses)
+	pipe := &detect.Pipeline{M: env.Meas, D: det}
 
-	fmt.Fprintf(stdout, "scanning %d clean test images:\n", *n)
+	fmt.Fprintf(stdout, "scanning %d clean test images (%s backend):\n", *n, det.Kind())
 	for i := 0; i < *n && i < len(env.DS.Test); i++ {
 		s := env.DS.Test[i]
 		res := pipe.Scan(s.X)
 		fmt.Fprintf(stdout, "  image %2d (true %q): predicted %q, adversarial=%v\n",
 			i, data.ClassName(env.Scn.Dataset, s.Label),
-			data.ClassName(env.Scn.Dataset, res.PredictedClass), res.Flags[cmIdx])
+			data.ClassName(env.Scn.Dataset, res.PredictedClass), res.Fused)
 	}
 
 	spec := experiments.AttackSpec{Kind: "fgsm", Eps: *eps, Targeted: true}
@@ -298,10 +369,10 @@ func cmdScan(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "scanning %d adversarial images (%s):\n", len(ar.Meas), spec)
 	for i, m := range ar.Meas {
-		res := det.Detect(m.Pred, m.Counts)
+		res := det.Detect(m)
 		fmt.Fprintf(stdout, "  AE %2d (from %q): predicted %q, adversarial=%v\n",
 			i, data.ClassName(env.Scn.Dataset, m.TrueLabel),
-			data.ClassName(env.Scn.Dataset, m.Pred), res.Flags[cmIdx])
+			data.ClassName(env.Scn.Dataset, m.Pred), res.Fused)
 	}
 	return nil
 }
@@ -311,7 +382,7 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	scenario := fs.String("scenario", "S2", "scenario id (defines the served model)")
 	addr := fs.String("addr", ":8080", "listen address")
-	detector := fs.String("detector", "", "fitted-detector file: loaded if valid, refitted and saved on a miss")
+	dopts := detectorFlags(fs)
 	queue := fs.Int("queue", 64, "admission queue capacity (full queue answers 429)")
 	maxBatch := fs.Int("max-batch", 8, "micro-batch size cap")
 	batchWait := fs.Duration("batch-wait", 2*time.Millisecond, "micro-batcher linger after the first queued request")
@@ -329,7 +400,7 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	det, err := loadOrFitDetector(env, *detector)
+	det, err := loadOrFitDetector(env, dopts)
 	if err != nil {
 		return err
 	}

@@ -43,7 +43,8 @@ func main() {
 	sample := env.DS.Test[*image]
 	env.Meas.R = *repeats
 
-	pred, counts := env.Meas.Measure(sample.X)
+	m := env.Meas.Measure(sample.X)
+	pred, counts := m.Pred, m.Counts
 	fmt.Printf("Performance counter stats for inference of test image %d (%d runs):\n\n",
 		*image, *repeats)
 	printCounts(counts)
@@ -55,7 +56,8 @@ func main() {
 	}
 	atk := attack.NewTargetedFGSM(*eps, env.Scn.TargetClass)
 	adv := atk.Perturb(env.Model, sample.X, sample.Label)
-	advPred, advCounts := env.Meas.Measure(adv)
+	am := env.Meas.Measure(adv)
+	advPred, advCounts := am.Pred, am.Counts
 	fmt.Printf("\nPerformance counter stats for its targeted-FGSM twin (ε=%g → %q):\n\n",
 		*eps, data.ClassName(env.Scn.Dataset, env.Scn.TargetClass))
 	printCounts(advCounts)

@@ -17,6 +17,7 @@ import (
 	"advhunter/internal/attack"
 	"advhunter/internal/core"
 	"advhunter/internal/data"
+	"advhunter/internal/detect"
 	"advhunter/internal/engine"
 	"advhunter/internal/models"
 	"advhunter/internal/rng"
@@ -40,11 +41,10 @@ func main() {
 	fmt.Println("offline phase: fitting per-category GMM templates…")
 	val := data.MustSynth("cifar10", 12, 50, 0).Train
 	tpl := core.BuildTemplate(meas, val, ds.Classes, hpc.CoreEvents())
-	det, err := core.Fit(tpl, core.DefaultConfig())
+	det, err := detect.Fit("gmm", tpl, detect.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
-	cm := det.EventIndex(hpc.CacheMisses)
 
 	var sources []data.Sample
 	for _, s := range ds.Test {
@@ -72,8 +72,7 @@ func main() {
 		advs := attack.Successful(row.atk, crafted)
 		caught := 0
 		for _, s := range advs {
-			pred, counts := meas.Measure(s.X)
-			if det.Detect(pred, counts).Flags[cm] {
+			if det.Detect(meas.Measure(s.X)).FlaggedBy(hpc.CacheMisses) {
 				caught++
 			}
 		}

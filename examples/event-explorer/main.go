@@ -15,6 +15,7 @@ import (
 	"advhunter/internal/attack"
 	"advhunter/internal/core"
 	"advhunter/internal/data"
+	"advhunter/internal/detect"
 	"advhunter/internal/engine"
 	"advhunter/internal/metrics"
 	"advhunter/internal/models"
@@ -37,7 +38,7 @@ func main() {
 	meas := core.NewMeasurer(engine.NewDefault(model), 21)
 	val := data.MustSynth("fashionmnist", 34, 50, 0).Train
 	tpl := core.BuildTemplate(meas, val, ds.Classes, hpc.AllEvents())
-	det, err := core.Fit(tpl, core.DefaultConfig())
+	det, err := detect.Fit("gmm", tpl, detect.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func main() {
 			av = append(av, m.Counts.Get(e))
 		}
 		cs, as := metrics.Summarize(cv), metrics.Summarize(av)
-		conf := core.EvaluateEvent(det, e, clean, adv, 0)
+		conf := detect.EvaluateEvent(det, e, clean, adv, 0)
 		fmt.Printf("%-22s %9.0f±%-6.0f %9.0f±%-6.0f %8.3f %8.3f\n",
 			e, cs.Mean, cs.Std, as.Mean, as.Std,
 			metrics.OverlapCoefficient(cv, av, 24), conf.F1())

@@ -1,6 +1,6 @@
 // MLaaS monitor: AdvHunter deployed as a guard in front of a simulated
 // cloud inference service — now through the real serving stack. The guard
-// is fitted once and persisted (core.SaveDetector), reloaded the way a
+// is fitted once and persisted (detect.Save), reloaded the way a
 // fresh serving process would load it, and exposed as the HTTP JSON service
 // (internal/serve) with micro-batching and a replica pool. A stream of
 // queries — mostly legitimate, with adversarial probing mixed in — is fired
@@ -29,6 +29,7 @@ import (
 	"advhunter/internal/attack"
 	"advhunter/internal/core"
 	"advhunter/internal/data"
+	"advhunter/internal/detect"
 	"advhunter/internal/engine"
 	"advhunter/internal/metrics"
 	"advhunter/internal/models"
@@ -63,7 +64,7 @@ func main() {
 	fmt.Println("guard: measuring clean validation traffic (offline phase)…")
 	val := data.MustSynth("cifar10", 10, 60, 0).Train
 	tpl := core.BuildTemplate(meas.Clone(), val, ds.Classes, hpc.CoreEvents())
-	fitted, err := core.Fit(tpl, core.DefaultConfig())
+	fitted, err := detect.Fit("gmm", tpl, detect.DefaultConfig())
 	if err != nil {
 		log.Fatalf("guard: %v", err)
 	}
@@ -73,10 +74,10 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 	artifact := filepath.Join(dir, "detector.gob")
-	if err := core.SaveDetector(artifact, fitted); err != nil {
+	if err := detect.Save(artifact, fitted); err != nil {
 		log.Fatalf("guard: persisting detector: %v", err)
 	}
-	det, ok := core.TryLoadDetector(artifact)
+	det, ok := detect.TryLoad(artifact)
 	if !ok {
 		log.Fatal("guard: persisted detector failed to load")
 	}
@@ -133,7 +134,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				verdicts[i] = detect(ts.URL, serve.NewRequest(stream[i].sample.X, uint64(i)))
+				verdicts[i] = postDetect(ts.URL, serve.NewRequest(stream[i].sample.X, uint64(i)))
 			}
 		}()
 	}
@@ -182,9 +183,9 @@ func main() {
 	}
 }
 
-// detect posts one query and decodes the verdict; any service error is
+// postDetect posts one query and decodes the verdict; any service error is
 // fatal (this is a demo stream, not production retry logic).
-func detect(url string, req serve.Request) serve.Response {
+func postDetect(url string, req serve.Request) serve.Response {
 	raw, err := json.Marshal(req)
 	if err != nil {
 		log.Fatal(err)

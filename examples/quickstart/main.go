@@ -17,6 +17,7 @@ import (
 	"advhunter/internal/attack"
 	"advhunter/internal/core"
 	"advhunter/internal/data"
+	"advhunter/internal/detect"
 	"advhunter/internal/engine"
 	"advhunter/internal/models"
 	"advhunter/internal/train"
@@ -48,11 +49,11 @@ func main() {
 	// (category, event), derive 3σ thresholds.
 	fmt.Println("== 2. offline phase: building the benign template ==")
 	tpl := core.BuildTemplate(meas, ds.Train, ds.Classes, hpc.CoreEvents())
-	det, err := core.Fit(tpl, core.DefaultConfig())
+	det, err := detect.Fit("gmm", tpl, detect.DefaultConfig())
 	if err != nil {
 		log.Fatalf("fitting detector: %v", err)
 	}
-	fmt.Printf("fitted GMMs for %d events × %d categories\n\n", len(det.Events), ds.Classes)
+	fmt.Printf("fitted GMMs for %d events × %d categories\n\n", len(det.Events()), ds.Classes)
 
 	// 4. The adversary: white-box targeted FGSM steering images into class
 	// 'shirt'.
@@ -72,19 +73,18 @@ func main() {
 	// 5. Online phase: scan unknown inputs. The defender sees only the
 	// hard label and the counter reading.
 	fmt.Println("== 4. online phase: scanning unknown inputs ==")
-	pipe := &core.Pipeline{M: meas, D: det}
-	cm := det.EventIndex(hpc.CacheMisses)
+	pipe := &detect.Pipeline{M: meas, D: det}
 
 	cleanFlagged, cleanTotal := 0, 0
 	for _, s := range ds.Test[:40] {
-		if pipe.Scan(s.X).Flags[cm] {
+		if pipe.Scan(s.X).FlaggedBy(hpc.CacheMisses) {
 			cleanFlagged++
 		}
 		cleanTotal++
 	}
 	advFlagged := 0
 	for _, s := range advs {
-		if pipe.Scan(s.X).Flags[cm] {
+		if pipe.Scan(s.X).FlaggedBy(hpc.CacheMisses) {
 			advFlagged++
 		}
 	}

@@ -1,25 +1,17 @@
-// Package core implements AdvHunter, the paper's contribution: a hard-label
-// black-box adversarial-example detector driven by Hardware Performance
-// Counter side channels.
+// Package core implements AdvHunter's measurement protocol: run one
+// inference on the instrumented engine, read the HPC bank R times under
+// measurement noise, and keep the per-event mean (Section 5.2). The offline
+// template 𝒟 — per predicted category, one row of per-event means for each
+// measured validation image — also lives here.
 //
-// Offline phase (Section 5.2–5.3): for each output category c the defender
-// measures M clean validation images, each HPC event repeated R times and
-// averaged, building the template 𝒟_c; a univariate GMM (components chosen
-// by BIC) is fitted per (category, event), and a three-sigma threshold Δ_c^n
-// is derived from the negative log-likelihood distribution of the template.
-//
-// Online phase (Section 5.4): an unknown input is measured the same way;
-// its NLL under the GMM of the *predicted* category is compared against the
-// threshold, and the input is flagged as adversarial if the score exceeds it.
+// Scoring and thresholding (the detector proper) live in internal/detect,
+// which consumes the Measurement and Template types defined here through a
+// pluggable Scorer/Detector abstraction.
 package core
 
 import (
-	"fmt"
-
 	"advhunter/internal/data"
 	"advhunter/internal/engine"
-	"advhunter/internal/gmm"
-	"advhunter/internal/metrics"
 	"advhunter/internal/rng"
 	"advhunter/internal/tensor"
 	"advhunter/internal/uarch/hpc"
@@ -87,14 +79,20 @@ func (m *Measurer) noiseAt(i uint64) *hpc.Sampler {
 }
 
 // MeasureAt measures one image under the noise stream of sample index i.
-func (m *Measurer) MeasureAt(i uint64, x *tensor.Tensor) (int, hpc.Counts) {
-	pred, truth := m.Engine.Infer(x)
-	return pred, m.noiseAt(i).MeasureMean(truth, m.R)
+// TrueLabel is -1: the measurer has no ground truth for an unknown input.
+func (m *Measurer) MeasureAt(i uint64, x *tensor.Tensor) Measurement {
+	pred, conf, truth := m.Engine.InferConf(x)
+	return Measurement{
+		Pred:      pred,
+		TrueLabel: -1,
+		Counts:    m.noiseAt(i).MeasureMean(truth, m.R),
+		Conf:      conf,
+	}
 }
 
-// Measure returns the hard-label prediction and the R-averaged counter
-// reading for one image, assigning sample indices in call order.
-func (m *Measurer) Measure(x *tensor.Tensor) (int, hpc.Counts) {
+// Measure returns the measurement for one image, assigning sample indices
+// in call order.
+func (m *Measurer) Measure(x *tensor.Tensor) Measurement {
 	i := m.next
 	m.next++
 	return m.MeasureAt(i, x)
@@ -108,20 +106,30 @@ type Template struct {
 	// Rows[c][i][n] is the mean of event Events[n] for the i-th validation
 	// image whose (hard-label) prediction was c.
 	Rows [][][]float64
+	// Confs[c][i] is the softmax confidence of the i-th image's prediction.
+	// Black-box scorers ignore it; the soft-label confidence baseline
+	// thresholds on it.
+	Confs [][]float64
 }
 
 // NewTemplate allocates an empty template.
 func NewTemplate(classes int, events []hpc.Event) *Template {
-	return &Template{Events: events, Classes: classes, Rows: make([][][]float64, classes)}
+	return &Template{
+		Events:  events,
+		Classes: classes,
+		Rows:    make([][][]float64, classes),
+		Confs:   make([][]float64, classes),
+	}
 }
 
 // Add appends one measured image to category c.
-func (t *Template) Add(c int, counts hpc.Counts) {
+func (t *Template) Add(c int, counts hpc.Counts, conf float64) {
 	row := make([]float64, len(t.Events))
 	for n, e := range t.Events {
 		row[n] = counts.Get(e)
 	}
 	t.Rows[c] = append(t.Rows[c], row)
+	t.Confs[c] = append(t.Confs[c], conf)
 }
 
 // Column extracts 𝒟_c^n, the per-image means of one event in one category.
@@ -133,165 +141,32 @@ func (t *Template) Column(c, n int) []float64 {
 	return col
 }
 
+// Measurements reconstructs category c's template rows as Measurement
+// values, letting detector fitting score template data through the same
+// code path as online queries.
+func (t *Template) Measurements(c int) []Measurement {
+	ms := make([]Measurement, len(t.Rows[c]))
+	for i, row := range t.Rows[c] {
+		var counts hpc.Counts
+		for n, e := range t.Events {
+			counts[e] = row[n]
+		}
+		conf := 0.0
+		if i < len(t.Confs[c]) {
+			conf = t.Confs[c][i]
+		}
+		ms[i] = Measurement{Pred: c, TrueLabel: c, Counts: counts, Conf: conf}
+	}
+	return ms
+}
+
 // BuildTemplate measures every validation image and buckets it under its
 // *predicted* category — the only label a hard-label defender observes.
 // Measurement fans out over m.Workers; template rows keep input order.
 func BuildTemplate(m *Measurer, validation []data.Sample, classes int, events []hpc.Event) *Template {
 	t := NewTemplate(classes, events)
 	for _, mm := range MeasureSet(m, validation) {
-		t.Add(mm.Pred, mm.Counts)
+		t.Add(mm.Pred, mm.Counts, mm.Conf)
 	}
 	return t
-}
-
-// Config controls detector fitting.
-type Config struct {
-	// MaxK caps the BIC search over GMM component counts (paper: small).
-	MaxK int
-	// SigmaFactor is the threshold multiplier (paper: 3, the 3σ rule).
-	SigmaFactor float64
-	// MinSamples is the smallest per-category template size accepted.
-	MinSamples int
-	// GMM configures the EM fits.
-	GMM gmm.Config
-	// ForceK, when positive, disables BIC selection and fits exactly K
-	// components (the single-Gaussian baseline uses ForceK = 1).
-	ForceK int
-}
-
-// DefaultConfig mirrors the paper's settings.
-func DefaultConfig() Config {
-	return Config{MaxK: 5, SigmaFactor: 3, MinSamples: 4, GMM: gmm.DefaultConfig()}
-}
-
-// Detector is the fitted AdvHunter model: one GMM and one threshold per
-// (category, event).
-type Detector struct {
-	Events []hpc.Event
-	// Models[c][n] may be nil when category c had too few template rows;
-	// such categories never flag (the defender cannot model them).
-	Models     [][]*gmm.Model
-	Thresholds [][]float64
-	cfg        Config
-}
-
-// Fit performs the offline phase on a measured template.
-func Fit(t *Template, cfg Config) (*Detector, error) {
-	if cfg.SigmaFactor <= 0 || cfg.MaxK <= 0 {
-		return nil, fmt.Errorf("core: invalid config %+v", cfg)
-	}
-	d := &Detector{
-		Events:     t.Events,
-		Models:     make([][]*gmm.Model, t.Classes),
-		Thresholds: make([][]float64, t.Classes),
-		cfg:        cfg,
-	}
-	fitted := 0
-	for c := 0; c < t.Classes; c++ {
-		d.Models[c] = make([]*gmm.Model, len(t.Events))
-		d.Thresholds[c] = make([]float64, len(t.Events))
-		if len(t.Rows[c]) < cfg.MinSamples {
-			continue
-		}
-		for n := range t.Events {
-			col := t.Column(c, n)
-			sub := cfg.GMM
-			sub.Seed = cfg.GMM.Seed ^ (uint64(c)<<32 | uint64(n))
-			var model *gmm.Model
-			var err error
-			if cfg.ForceK > 0 {
-				model, err = gmm.Fit(col, cfg.ForceK, sub)
-			} else {
-				model, err = gmm.FitBest(col, cfg.MaxK, sub)
-			}
-			if err != nil {
-				return nil, fmt.Errorf("core: fitting class %d event %v: %w", c, t.Events[n], err)
-			}
-			nll := make([]float64, len(col))
-			for i, x := range col {
-				nll[i] = model.NegLogLikelihood(x)
-			}
-			mu, sigma := metrics.MeanStd(nll)
-			d.Models[c][n] = model
-			d.Thresholds[c][n] = mu + cfg.SigmaFactor*sigma
-		}
-		fitted++
-	}
-	if fitted == 0 {
-		return nil, fmt.Errorf("core: no category had %d or more template rows", cfg.MinSamples)
-	}
-	return d, nil
-}
-
-// Result is one online-phase decision.
-type Result struct {
-	PredictedClass int
-	// Scores[n] is ℓ_n, the NLL of the measurement under the predicted
-	// category's GMM for event n; NaN-free (unmodelled categories score 0).
-	Scores []float64
-	// Flags[n] reports ℓ_n > Δ_ĉ^n for event n.
-	Flags []bool
-	// Modelled reports whether the predicted category had a template.
-	Modelled bool
-}
-
-// FlaggedBy reports whether the named event flagged the input.
-func (r Result) FlaggedBy(e hpc.Event, events []hpc.Event) bool {
-	for n, ev := range events {
-		if ev == e {
-			return r.Flags[n]
-		}
-	}
-	return false
-}
-
-// AnyFlag reports whether any event flagged the input (OR fusion).
-func (r Result) AnyFlag() bool {
-	for _, f := range r.Flags {
-		if f {
-			return true
-		}
-	}
-	return false
-}
-
-// Detect runs the online phase on a measured reading.
-func (d *Detector) Detect(pred int, counts hpc.Counts) Result {
-	res := Result{
-		PredictedClass: pred,
-		Scores:         make([]float64, len(d.Events)),
-		Flags:          make([]bool, len(d.Events)),
-	}
-	if pred < 0 || pred >= len(d.Models) || d.Models[pred][0] == nil {
-		return res
-	}
-	res.Modelled = true
-	for n, e := range d.Events {
-		score := d.Models[pred][n].NegLogLikelihood(counts.Get(e))
-		res.Scores[n] = score
-		res.Flags[n] = score > d.Thresholds[pred][n]
-	}
-	return res
-}
-
-// EventIndex locates an event in the detector's event list (-1 if absent).
-func (d *Detector) EventIndex(e hpc.Event) int {
-	for n, ev := range d.Events {
-		if ev == e {
-			return n
-		}
-	}
-	return -1
-}
-
-// Pipeline couples measurement and detection: the full deployed AdvHunter.
-type Pipeline struct {
-	M *Measurer
-	D *Detector
-}
-
-// Scan classifies an unknown image and reports the detection result.
-func (p *Pipeline) Scan(x *tensor.Tensor) Result {
-	pred, counts := p.M.Measure(x)
-	return p.D.Detect(pred, counts)
 }

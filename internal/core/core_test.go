@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"advhunter/internal/engine"
+	"advhunter/internal/rng"
+	"advhunter/internal/uarch/hpc"
+)
+
+// TestMeasurerCloneAgrees checks the serving contract: a cloned measurer
+// answers MeasureAt(i, x) exactly like the original for any shared index.
+func TestMeasurerCloneAgrees(t *testing.T) {
+	samples, m := detFixture()
+	orig := NewMeasurer(engine.NewDefault(m.Clone()), 42)
+	clone := orig.Clone()
+	for i, s := range samples[:6] {
+		a := orig.MeasureAt(uint64(i), s.X)
+		b := clone.MeasureAt(uint64(i), s.X)
+		if a.Pred != b.Pred || a.Counts != b.Counts || a.Conf != b.Conf {
+			t.Fatalf("clone diverged at index %d", i)
+		}
+	}
+}
+
+// TestMeasurementCarriesConfidence checks that the measured confidence is a
+// valid softmax probability of the predicted class.
+func TestMeasurementCarriesConfidence(t *testing.T) {
+	samples, m := detFixture()
+	meas := NewMeasurer(engine.NewDefault(m.Clone()), 42)
+	mm := meas.Measure(samples[0].X)
+	if mm.Conf <= 0 || mm.Conf > 1 {
+		t.Fatalf("confidence %v outside (0, 1]", mm.Conf)
+	}
+	if mm.TrueLabel != -1 {
+		t.Fatalf("online Measure should report TrueLabel -1, got %d", mm.TrueLabel)
+	}
+}
+
+// TestTemplateColumn checks the 𝒟_c^n extraction used by every per-event
+// scorer.
+func TestTemplateColumn(t *testing.T) {
+	tpl := NewTemplate(2, []hpc.Event{hpc.CacheMisses, hpc.Instructions})
+	var a, b hpc.Counts
+	a[hpc.CacheMisses], a[hpc.Instructions] = 10, 100
+	b[hpc.CacheMisses], b[hpc.Instructions] = 20, 200
+	tpl.Add(1, a, 0.9)
+	tpl.Add(1, b, 0.8)
+	col := tpl.Column(1, 0)
+	if len(col) != 2 || col[0] != 10 || col[1] != 20 {
+		t.Fatalf("cache-miss column = %v", col)
+	}
+	col = tpl.Column(1, 1)
+	if col[0] != 100 || col[1] != 200 {
+		t.Fatalf("instructions column = %v", col)
+	}
+	if len(tpl.Rows[0]) != 0 {
+		t.Fatal("class 0 should be empty")
+	}
+}
+
+// TestTemplateMeasurements checks the row→Measurement reconstruction that
+// detector fitting scores thresholds through.
+func TestTemplateMeasurements(t *testing.T) {
+	events := []hpc.Event{hpc.CacheMisses, hpc.Branches}
+	tpl := NewTemplate(3, events)
+	r := rng.New(7)
+	var want []Measurement
+	for i := 0; i < 5; i++ {
+		var c hpc.Counts
+		c[hpc.CacheMisses] = r.Normal(1000, 10)
+		c[hpc.Branches] = r.Normal(5000, 50)
+		conf := 0.5 + 0.1*float64(i%3)
+		tpl.Add(2, c, conf)
+		want = append(want, Measurement{Pred: 2, TrueLabel: 2, Counts: c, Conf: conf})
+	}
+	got := tpl.Measurements(2)
+	if len(got) != len(want) {
+		t.Fatalf("got %d measurements, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Pred != 2 || got[i].Conf != want[i].Conf {
+			t.Fatalf("measurement %d: %+v", i, got[i])
+		}
+		for _, e := range events {
+			if got[i].Counts.Get(e) != want[i].Counts.Get(e) {
+				t.Fatalf("measurement %d event %v: got %v want %v",
+					i, e, got[i].Counts.Get(e), want[i].Counts.Get(e))
+			}
+		}
+	}
+	if len(tpl.Measurements(0)) != 0 {
+		t.Fatal("empty class should reconstruct no measurements")
+	}
+}

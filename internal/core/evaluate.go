@@ -3,7 +3,6 @@ package core
 import (
 	"advhunter/internal/data"
 	"advhunter/internal/engine"
-	"advhunter/internal/metrics"
 	"advhunter/internal/parallel"
 	"advhunter/internal/uarch/hpc"
 )
@@ -14,9 +13,14 @@ import (
 type Measurement struct {
 	Pred int
 	// TrueLabel is the ground-truth class (for clean images) or the
-	// original class (for adversarial ones); bookkeeping only.
+	// original class (for adversarial ones); bookkeeping only. Online
+	// queries carry -1.
 	TrueLabel int
 	Counts    hpc.Counts
+	// Conf is the softmax confidence of the predicted class. The black-box
+	// threat model forbids detectors from using it; it feeds only the
+	// soft-label confidence baseline the paper compares against.
+	Conf float64
 }
 
 // MeasureSet measures every sample, fanning out over m.Workers goroutines.
@@ -32,44 +36,8 @@ func MeasureSet(m *Measurer, samples []data.Sample) []Measurement {
 		engines[w] = m.Engine.Clone()
 	}
 	return parallel.MapWorkers(workers, samples, func(worker, i int, s data.Sample) Measurement {
-		pred, truth := engines[worker].Infer(s.X)
+		pred, conf, truth := engines[worker].InferConf(s.X)
 		counts := m.noiseAt(uint64(i)).MeasureMean(truth, m.R)
-		return Measurement{Pred: pred, TrueLabel: s.Label, Counts: counts}
+		return Measurement{Pred: pred, TrueLabel: s.Label, Counts: counts, Conf: conf}
 	})
-}
-
-// EvaluateEvent scores the per-event decision rule over clean (negative) and
-// adversarial (positive) measurement sets, mirroring the paper's Table 2
-// protocol. Detection is pure (the detector is read-only online), so scoring
-// fans out over the given worker count; the confusion matrix is accumulated
-// in input order.
-func EvaluateEvent(d *Detector, event hpc.Event, clean, adv []Measurement, workers int) metrics.Confusion {
-	n := d.EventIndex(event)
-	flag := func(_ int, m Measurement) bool {
-		return d.Detect(m.Pred, m.Counts).Flags[n]
-	}
-	var c metrics.Confusion
-	for _, flagged := range parallel.Map(workers, clean, flag) {
-		c.Add(false, flagged)
-	}
-	for _, flagged := range parallel.Map(workers, adv, flag) {
-		c.Add(true, flagged)
-	}
-	return c
-}
-
-// EvaluateFusion scores the joint-model extension the same way.
-func EvaluateFusion(f *FusionDetector, clean, adv []Measurement, workers int) metrics.Confusion {
-	flag := func(_ int, m Measurement) bool {
-		_, flagged := f.Detect(m.Pred, m.Counts)
-		return flagged
-	}
-	var c metrics.Confusion
-	for _, flagged := range parallel.Map(workers, clean, flag) {
-		c.Add(false, flagged)
-	}
-	for _, flagged := range parallel.Map(workers, adv, flag) {
-		c.Add(true, flagged)
-	}
-	return c
 }

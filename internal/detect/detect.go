@@ -1,0 +1,145 @@
+// Package detect is the pluggable detection stack on top of core's
+// measurement protocol. A detector is a set of Scorers — one anomaly score
+// per decision channel — plus per-(channel, category) thresholds derived
+// from the clean template by the paper's kσ rule. Every detector family
+// (the per-event GMMs of the paper, the multivariate fusion extension, the
+// soft-label confidence baseline, and the Mahalanobis/KDE/k-NN variants)
+// is a registered backend behind the same Fit / Detect / Evaluate / persist
+// code path, selected by name.
+package detect
+
+import (
+	"fmt"
+
+	"advhunter/internal/core"
+	"advhunter/internal/gmm"
+	"advhunter/internal/uarch/hpc"
+)
+
+// Config controls detector fitting, across all backends. Backends ignore
+// the knobs that do not apply to them.
+type Config struct {
+	// MaxK caps the BIC search over GMM component counts (paper: small).
+	MaxK int
+	// SigmaFactor is the threshold multiplier (paper: 3, the 3σ rule).
+	SigmaFactor float64
+	// MinSamples is the smallest per-category template size accepted.
+	MinSamples int
+	// GMM configures the EM fits (gmm and fusion backends).
+	GMM gmm.Config
+	// ForceK, when positive, disables BIC selection and fits exactly K
+	// components (the single-Gaussian ablation uses ForceK = 1).
+	ForceK int
+	// K is the neighbour count of the k-NN backend.
+	K int
+	// DecisionEvent names the channel that decides Verdict.Fused for
+	// per-event backends (paper: cache-misses). If the fitted detector has
+	// no such channel, the fused decision is the OR over all channels.
+	DecisionEvent hpc.Event
+	// FusionEvents is the event subset the fusion backend models jointly;
+	// empty means every template event.
+	FusionEvents []hpc.Event
+}
+
+// DefaultConfig mirrors the paper's settings.
+func DefaultConfig() Config {
+	return Config{
+		MaxK:          5,
+		SigmaFactor:   3,
+		MinSamples:    4,
+		GMM:           gmm.DefaultConfig(),
+		K:             5,
+		DecisionEvent: hpc.CacheMisses,
+	}
+}
+
+// Scorer is one decision channel of a detector: an anomaly score over
+// measurements, fitted per predicted category on the clean template.
+// Implementations live in this package (the unexported validate method,
+// which guards deserialized state, seals the interface); new scorers are
+// added by registering a backend.
+type Scorer interface {
+	// Channel names the score stream (an event name for per-event scorers,
+	// "fusion" or "confidence" for the combinators).
+	Channel() string
+	// Fit estimates the scorer's per-category parameters from the template,
+	// skipping categories with fewer than cfg.MinSamples rows.
+	Fit(t *core.Template, cfg Config) error
+	// Score returns the anomaly score of a measurement under the model of
+	// its predicted category; ok is false when that category is unmodelled
+	// by this scorer.
+	Score(q core.Measurement) (float64, bool)
+	// validate checks structural invariants of (possibly deserialized)
+	// scorer state, so a corrupt artifact can never panic Detect.
+	validate(classes int, events []hpc.Event) error
+}
+
+// Detector is a fitted detector: Detect maps one measurement to a Verdict.
+type Detector interface {
+	// Kind is the backend name the detector was fitted under.
+	Kind() string
+	// Events lists the template events the detector was fitted on.
+	Events() []hpc.Event
+	// Channels names the score streams, aligned with Verdict.Scores/Flags.
+	Channels() []string
+	// Detect runs the online phase on one measured reading.
+	Detect(q core.Measurement) Verdict
+}
+
+// Verdict is one online-phase decision: the per-channel scores and flags,
+// and the fused decision.
+type Verdict struct {
+	PredictedClass int
+	// Channels names each score stream (shared, read-only).
+	Channels []string
+	// Scores[i] is the anomaly score of channel i (0 when unmodelled).
+	Scores []float64
+	// Flags[i] reports Scores[i] > threshold for the predicted category.
+	Flags []bool
+	// Modelled reports whether the predicted category had a template.
+	Modelled bool
+	// Fused is the detector's single decision: the configured decision
+	// channel's flag, or the OR over all channels when none is configured.
+	Fused bool
+
+	// eventIdx maps events to channel indices (shared with the detector,
+	// read-only) so FlaggedBy is O(1) instead of a scan per call.
+	eventIdx map[hpc.Event]int
+}
+
+// FlaggedBy reports whether the named event's channel flagged the input;
+// false when the detector has no such channel.
+func (v Verdict) FlaggedBy(e hpc.Event) bool {
+	if i, ok := v.eventIdx[e]; ok {
+		return v.Flags[i]
+	}
+	return false
+}
+
+// ChannelIndex locates an event's channel (-1 if the detector has none).
+func (v Verdict) ChannelIndex(e hpc.Event) int {
+	if i, ok := v.eventIdx[e]; ok {
+		return i
+	}
+	return -1
+}
+
+// AnyFlag reports whether any channel flagged the input (OR fusion).
+func (v Verdict) AnyFlag() bool {
+	for _, f := range v.Flags {
+		if f {
+			return true
+		}
+	}
+	return false
+}
+
+// eventColumn maps an event to its index in the template's event list.
+func eventColumn(events []hpc.Event, e hpc.Event) (int, error) {
+	for n, ev := range events {
+		if ev == e {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("detect: event %v not in template", e)
+}

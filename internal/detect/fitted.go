@@ -1,0 +1,174 @@
+package detect
+
+import (
+	"fmt"
+
+	"advhunter/internal/core"
+	"advhunter/internal/metrics"
+	"advhunter/internal/uarch/hpc"
+)
+
+// Fitted is the generic fitted detector every backend produces: the
+// backend's scorers plus per-(channel, category) thresholds derived from
+// the template scores by the kσ rule. It is the only Detector
+// implementation; backends differ purely in the scorers they contribute.
+type Fitted struct {
+	kind     string
+	events   []hpc.Event
+	channels []string
+	scorers  []Scorer
+	// thresholds[ch][c] is Δ_c for channel ch (0 for unmodelled categories).
+	thresholds [][]float64
+	// modelled[c] reports whether category c met cfg.MinSamples.
+	modelled []bool
+	classes  int
+	// decision is the channel deciding Verdict.Fused (-1 = OR over all).
+	decision int
+	// eventIdx maps events to channel indices, shared with every Verdict.
+	eventIdx map[hpc.Event]int
+}
+
+// Fit runs the offline phase of the named backend on a measured template:
+// the backend fits its scorers, then every (channel, category) threshold is
+// derived the same way — mean + SigmaFactor·std of the channel's scores
+// over the category's own template rows.
+func Fit(kind string, t *core.Template, cfg Config) (*Fitted, error) {
+	if cfg.SigmaFactor <= 0 || cfg.MaxK <= 0 {
+		return nil, fmt.Errorf("detect: invalid config %+v", cfg)
+	}
+	b, ok := Lookup(kind)
+	if !ok {
+		return nil, fmt.Errorf("detect: unknown backend %q (have %v)", kind, Kinds())
+	}
+	scorers, err := b.New(t, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(scorers) == 0 {
+		return nil, fmt.Errorf("detect: backend %q produced no scorers", kind)
+	}
+	for _, s := range scorers {
+		if err := s.Fit(t, cfg); err != nil {
+			return nil, err
+		}
+	}
+
+	modelled := make([]bool, t.Classes)
+	fitted := 0
+	for c := 0; c < t.Classes; c++ {
+		if len(t.Rows[c]) >= cfg.MinSamples {
+			modelled[c] = true
+			fitted++
+		}
+	}
+	if fitted == 0 {
+		return nil, fmt.Errorf("detect: no category had %d or more template rows", cfg.MinSamples)
+	}
+
+	thresholds := make([][]float64, len(scorers))
+	for si := range scorers {
+		thresholds[si] = make([]float64, t.Classes)
+	}
+	for c := 0; c < t.Classes; c++ {
+		if !modelled[c] {
+			continue
+		}
+		ms := t.Measurements(c)
+		for si, s := range scorers {
+			scores := make([]float64, 0, len(ms))
+			for _, q := range ms {
+				if score, ok := s.Score(q); ok {
+					scores = append(scores, score)
+				}
+			}
+			if len(scores) == 0 {
+				continue
+			}
+			mu, sigma := metrics.MeanStd(scores)
+			thresholds[si][c] = mu + cfg.SigmaFactor*sigma
+		}
+	}
+
+	d := &Fitted{
+		kind:       kind,
+		events:     t.Events,
+		scorers:    scorers,
+		thresholds: thresholds,
+		modelled:   modelled,
+		classes:    t.Classes,
+	}
+	d.finish(cfg.DecisionEvent)
+	return d, nil
+}
+
+// finish derives the channel names, event index and decision channel from
+// the scorers — shared by Fit and the persistence loaders.
+func (d *Fitted) finish(decisionEvent hpc.Event) {
+	d.channels = make([]string, len(d.scorers))
+	d.eventIdx = make(map[hpc.Event]int, len(d.scorers))
+	for si, s := range d.scorers {
+		d.channels[si] = s.Channel()
+		if e, err := hpc.ParseEvent(s.Channel()); err == nil {
+			d.eventIdx[e] = si
+		}
+	}
+	d.decision = -1
+	if len(d.channels) == 1 {
+		d.decision = 0
+	}
+	if si, ok := d.eventIdx[decisionEvent]; ok {
+		d.decision = si
+	}
+}
+
+// Kind is the backend name the detector was fitted under.
+func (d *Fitted) Kind() string { return d.kind }
+
+// Events lists the template events the detector was fitted on.
+func (d *Fitted) Events() []hpc.Event { return d.events }
+
+// Channels names the score streams, aligned with Verdict.Scores/Flags.
+func (d *Fitted) Channels() []string { return d.channels }
+
+// Classes is the number of output categories of the guarded model.
+func (d *Fitted) Classes() int { return d.classes }
+
+// ModelledClasses counts the categories with a fitted template.
+func (d *Fitted) ModelledClasses() int {
+	n := 0
+	for _, m := range d.modelled {
+		if m {
+			n++
+		}
+	}
+	return n
+}
+
+// Detect runs the online phase on a measured reading.
+func (d *Fitted) Detect(q core.Measurement) Verdict {
+	v := Verdict{
+		PredictedClass: q.Pred,
+		Channels:       d.channels,
+		Scores:         make([]float64, len(d.scorers)),
+		Flags:          make([]bool, len(d.scorers)),
+		eventIdx:       d.eventIdx,
+	}
+	if q.Pred < 0 || q.Pred >= d.classes || !d.modelled[q.Pred] {
+		return v
+	}
+	v.Modelled = true
+	for si, s := range d.scorers {
+		score, ok := s.Score(q)
+		if !ok {
+			continue
+		}
+		v.Scores[si] = score
+		v.Flags[si] = score > d.thresholds[si][q.Pred]
+	}
+	if d.decision >= 0 {
+		v.Fused = v.Flags[d.decision]
+	} else {
+		v.Fused = v.AnyFlag()
+	}
+	return v
+}

@@ -1,0 +1,287 @@
+package detect
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"advhunter/internal/core"
+	"advhunter/internal/gmm"
+	"advhunter/internal/metrics"
+	"advhunter/internal/persist"
+	"advhunter/internal/rng"
+	"advhunter/internal/uarch/hpc"
+)
+
+// TestSaveLoadRoundTripEveryBackend: every registered backend survives the
+// one envelope format with bit-exact scoring after reload.
+func TestSaveLoadRoundTripEveryBackend(t *testing.T) {
+	tpl := synthTemplate(3, 40, 101)
+	dir := t.TempDir()
+	r := rng.New(103)
+	var queries []core.Measurement
+	for i := 0; i < 20; i++ {
+		queries = append(queries, synthMeasurement(r, i%3, 1000+400*float64(i%2)))
+	}
+	for _, kind := range Kinds() {
+		d := mustFit(t, kind, tpl, DefaultConfig())
+		path := filepath.Join(dir, kind+".gob")
+		if err := Save(path, d); err != nil {
+			t.Fatalf("Save(%s): %v", kind, err)
+		}
+		back, err := Load(path)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", kind, err)
+		}
+		if back.Kind() != kind {
+			t.Fatalf("reloaded kind %q, want %q", back.Kind(), kind)
+		}
+		if got, want := back.Channels(), d.Channels(); len(got) != len(want) {
+			t.Fatalf("%s: channels %v -> %v", kind, want, got)
+		}
+		for qi, q := range queries {
+			a, b := d.Detect(q), back.Detect(q)
+			if a.Fused != b.Fused || a.Modelled != b.Modelled {
+				t.Fatalf("%s: query %d decisions diverge after reload: %+v vs %+v", kind, qi, a, b)
+			}
+			for si := range a.Scores {
+				if a.Scores[si] != b.Scores[si] {
+					t.Fatalf("%s: query %d score %d not bit-exact: %g vs %g", kind, qi, si, a.Scores[si], b.Scores[si])
+				}
+			}
+		}
+	}
+}
+
+// TestTryLoadMissSemantics: every broken input is a miss, never an error
+// surface and never a panic.
+func TestTryLoadMissSemantics(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]func(path string) error{
+		"empty path":    nil, // handled below with ""
+		"absent file":   func(string) error { return nil },
+		"empty file":    func(p string) error { return os.WriteFile(p, nil, 0o644) },
+		"garbage bytes": func(p string) error { return os.WriteFile(p, []byte("not a gob stream at all"), 0o644) },
+		"foreign schema": func(p string) error {
+			return persist.Save(p, 9, &struct{ X int }{42})
+		},
+		"wrong payload type": func(p string) error {
+			return persist.Save(p, DetectorSchema, &struct{ Y string }{"nope"})
+		},
+	}
+	if d, ok := TryLoad(""); ok || d != nil {
+		t.Fatal("empty path was not a miss")
+	}
+	for name, write := range cases {
+		if write == nil {
+			continue
+		}
+		p := filepath.Join(dir, name+".gob")
+		if name == "absent file" {
+			p = filepath.Join(dir, "never-written.gob")
+		} else if err := write(p); err != nil {
+			t.Fatalf("%s: setup: %v", name, err)
+		}
+		if d, ok := TryLoad(p); ok || d != nil {
+			t.Fatalf("%s: loaded a detector from a broken artifact", name)
+		}
+	}
+	// Truncated valid artifact.
+	tpl := synthTemplate(2, 20, 107)
+	d := mustFit(t, "gmm", tpl, DefaultConfig())
+	full := filepath.Join(dir, "full.gob")
+	if err := Save(full, d); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, len(raw) / 2, len(raw) - 1} {
+		p := filepath.Join(dir, "trunc.gob")
+		if err := os.WriteFile(p, raw[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := TryLoad(p); ok {
+			t.Fatalf("loaded from %d of %d bytes", n, len(raw))
+		}
+	}
+	// The intact artifact still loads — the misses above were the file's fault.
+	if _, ok := TryLoad(full); !ok {
+		t.Fatal("intact artifact missed")
+	}
+}
+
+// TestLoadRejectsUnknownBackendArtifact: a schema-2 envelope naming a
+// backend this binary does not register is a miss, not an error or panic.
+func TestLoadRejectsUnknownBackendArtifact(t *testing.T) {
+	tpl := synthTemplate(2, 20, 109)
+	d := mustFit(t, "gmm", tpl, DefaultConfig())
+	dto := fittedDTO{
+		Kind:       "from-the-future",
+		Events:     d.events,
+		Classes:    d.classes,
+		Decision:   hpc.CacheMisses,
+		Modelled:   d.modelled,
+		Thresholds: d.thresholds,
+		Scorers:    d.scorers,
+	}
+	p := filepath.Join(t.TempDir(), "future.gob")
+	if err := persist.Save(p, DetectorSchema, &dto); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(p); err == nil {
+		t.Fatal("Load accepted an unknown backend")
+	}
+	if _, ok := TryLoad(p); ok {
+		t.Fatal("TryLoad treated an unknown backend as a hit")
+	}
+}
+
+// TestLegacyDetectorStillLoads writes a pre-registry schema-1 artifact
+// (the exact layout core.SaveDetector used) and proves the shim lifts it
+// into a working gmm-backend detector with the same scores a fresh schema-2
+// fit produces on the same template and seed.
+func TestLegacyDetectorStillLoads(t *testing.T) {
+	tpl := synthTemplate(3, 40, 113)
+	cfg := DefaultConfig()
+
+	// Hand-build the legacy DTO the way the old per-event GMM trainer did:
+	// per (category, event) mixture with the same derived seed, threshold
+	// mean + 3σ over the template's own scores.
+	dto := legacyDTO{Events: append([]hpc.Event{}, synthEvents...)}
+	for c := 0; c < tpl.Classes; c++ {
+		cat := legacyCatDTO{Modelled: true}
+		for idx := range synthEvents {
+			col := tpl.Column(c, idx)
+			sub := cfg.GMM
+			sub.Seed = cfg.GMM.Seed ^ (uint64(c)<<32 | uint64(idx))
+			model, err := gmm.FitBest(col, cfg.MaxK, sub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scores := make([]float64, len(col))
+			for i, x := range col {
+				scores[i] = model.NegLogLikelihood(x)
+			}
+			mean, std := metrics.MeanStd(scores)
+			cat.Models = append(cat.Models, *model)
+			cat.Thresholds = append(cat.Thresholds, mean+cfg.SigmaFactor*std)
+		}
+		dto.Cats = append(dto.Cats, cat)
+	}
+	p := filepath.Join(t.TempDir(), "legacy.gob")
+	if err := persist.Save(p, legacySchema, &dto); err != nil {
+		t.Fatal(err)
+	}
+
+	legacy, ok := TryLoad(p)
+	if !ok {
+		t.Fatal("legacy schema-1 artifact did not load")
+	}
+	if legacy.Kind() != "gmm" {
+		t.Fatalf("legacy artifact lifted to kind %q", legacy.Kind())
+	}
+	fresh := mustFit(t, "gmm", tpl, cfg)
+	r := rng.New(127)
+	for i := 0; i < 30; i++ {
+		q := synthMeasurement(r, i%3, 1000+300*float64(i%3))
+		a, b := legacy.Detect(q), fresh.Detect(q)
+		if a.Fused != b.Fused {
+			t.Fatalf("legacy and fresh detectors disagree on query %d", i)
+		}
+		for si := range a.Scores {
+			if a.Scores[si] != b.Scores[si] {
+				t.Fatalf("query %d score %d differs: legacy %g, fresh %g", i, si, a.Scores[si], b.Scores[si])
+			}
+		}
+		if legacy.Detect(q).FlaggedBy(hpc.CacheMisses) != b.FlaggedBy(hpc.CacheMisses) {
+			t.Fatalf("legacy FlaggedBy diverges on query %d", i)
+		}
+	}
+	// A far-out query must flag through the shimmed detector.
+	if !legacy.Detect(synthMeasurement(r, 0, 1e6)).FlaggedBy(hpc.CacheMisses) {
+		t.Fatal("legacy detector missed an extreme anomaly")
+	}
+}
+
+func TestLegacyArtifactValidation(t *testing.T) {
+	dir := t.TempDir()
+	save := func(name string, dto legacyDTO) string {
+		p := filepath.Join(dir, name+".gob")
+		if err := persist.Save(p, legacySchema, &dto); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	empty := save("empty", legacyDTO{})
+	badEvent := save("bad-event", legacyDTO{
+		Events: []hpc.Event{hpc.Event(255)},
+		Cats:   []legacyCatDTO{{Modelled: false}},
+	})
+	lopsided := save("lopsided", legacyDTO{
+		Events: []hpc.Event{hpc.CacheMisses},
+		Cats:   []legacyCatDTO{{Modelled: true, Models: nil, Thresholds: []float64{1, 2}}},
+	})
+	unmodelled := save("unmodelled", legacyDTO{
+		Events: []hpc.Event{hpc.CacheMisses},
+		Cats:   []legacyCatDTO{{Modelled: false}},
+	})
+	for _, p := range []string{empty, badEvent, lopsided, unmodelled} {
+		if _, ok := TryLoad(p); ok {
+			t.Fatalf("invalid legacy artifact %s loaded", filepath.Base(p))
+		}
+	}
+}
+
+// FuzzTryLoad is the crash gate on the artifact loader: no byte sequence —
+// valid envelope, legacy envelope, mutation, or noise — may panic it.
+// Unknown backends and corrupt payloads are misses, not errors.
+func FuzzTryLoad(f *testing.F) {
+	tpl := synthTemplate(2, 20, 131)
+	dir := f.TempDir()
+	for _, kind := range []string{"gmm", "fusion", "confidence"} {
+		d, err := Fit(kind, tpl, DefaultConfig())
+		if err != nil {
+			f.Fatal(err)
+		}
+		p := filepath.Join(dir, kind+".gob")
+		if err := Save(p, d); err != nil {
+			f.Fatal(err)
+		}
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	legacy := filepath.Join(dir, "legacy.gob")
+	if err := persist.Save(legacy, legacySchema, &legacyDTO{
+		Events: []hpc.Event{hpc.CacheMisses},
+		Cats:   []legacyCatDTO{{Modelled: true, Models: make([]gmm.Model, 1), Thresholds: []float64{1}}},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	rawLegacy, err := os.ReadFile(legacy)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(rawLegacy)
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := filepath.Join(t.TempDir(), "fuzz.gob")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Skip()
+		}
+		d, ok := TryLoad(p)
+		if ok && d == nil {
+			t.Fatal("TryLoad reported a hit with a nil detector")
+		}
+		if ok {
+			// A loaded detector must be scorable without panicking.
+			d.Detect(synthMeasurement(rng.New(1), 0, 1000))
+		}
+	})
+}

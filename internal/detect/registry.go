@@ -1,0 +1,57 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+
+	"advhunter/internal/core"
+)
+
+// Backend is one registered detector family: a name, a one-line description
+// for CLI listings, and a factory producing the family's unfitted scorers
+// for a given template. The factory pairs with a gob codec: each backend's
+// init registers its concrete scorer types under stable names, which is
+// what lets persist write one self-describing envelope for any backend.
+type Backend struct {
+	Kind        string
+	Description string
+	// New builds the backend's scorers for a template; Fit is called on
+	// each by the generic fitting path.
+	New func(t *core.Template, cfg Config) ([]Scorer, error)
+}
+
+var backends = map[string]Backend{}
+
+// Register adds a backend to the registry. It panics on duplicate names —
+// registration happens in package init, where a duplicate is a programming
+// error, not a runtime condition.
+func Register(b Backend) {
+	if b.Kind == "" || b.New == nil {
+		panic("detect: Register needs a kind and a factory")
+	}
+	if _, dup := backends[b.Kind]; dup {
+		panic(fmt.Sprintf("detect: backend %q registered twice", b.Kind))
+	}
+	backends[b.Kind] = b
+}
+
+// Lookup resolves a backend by name.
+func Lookup(kind string) (Backend, bool) {
+	b, ok := backends[kind]
+	return b, ok
+}
+
+// Kinds lists the registered backend names, sorted.
+func Kinds() []string {
+	ks := make([]string, 0, len(backends))
+	for k := range backends {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Describe returns a backend's one-line description ("" if unknown).
+func Describe(kind string) string {
+	return backends[kind].Description
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 
 	"advhunter/internal/models"
 	"advhunter/internal/nn"
@@ -65,6 +66,32 @@ func (e *Engine) Infer(x *tensor.Tensor) (int, hpc.Counts) {
 func (e *Engine) Predict(x *tensor.Tensor) int {
 	p, _ := e.Infer(x)
 	return p
+}
+
+// InferConf is Infer plus the softmax confidence of the predicted class.
+// The confidence is derived from the logits of the same traced forward pass,
+// so it costs nothing extra on the simulated machine. Black-box detectors
+// must not consume it — it exists for the soft-label confidence baseline the
+// paper compares against.
+func (e *Engine) InferConf(x *tensor.Tensor) (int, float64, hpc.Counts) {
+	e.M.Reset()
+	e.ar.reset()
+	meta := e.Model.Meta
+	batch := x.Clone().Reshape(1, meta.InC, meta.InH, meta.InW)
+	in := makeRef(batch, inputBase, quantTol(batch, e.qlevels))
+	out := e.traceLayer(e.Model.Net, in)
+	logits := out.t.Data()
+	lmax := logits[0]
+	for _, v := range logits[1:] {
+		if v > lmax {
+			lmax = v
+		}
+	}
+	sum := 0.0
+	for _, v := range logits {
+		sum += math.Exp(v - lmax)
+	}
+	return out.t.Argmax(), 1 / sum, e.M.Counts()
 }
 
 // newOutput places a freshly produced activation tensor in the arena.

@@ -6,6 +6,7 @@ import (
 
 	"advhunter/internal/core"
 	"advhunter/internal/data"
+	"advhunter/internal/detect"
 	"advhunter/internal/metrics"
 	"advhunter/internal/parallel"
 	"advhunter/internal/uarch/cache"
@@ -250,7 +251,7 @@ func AblationNoise(opts Options) (*NoiseAblationResult, error) {
 		seed := uint64(c.sc*1000) ^ uint64(c.rep)<<8
 		val := resampleNoise(valTruth, noise, c.rep, seed^1, 1)
 		tpl := TemplateFromMeasurements(val, env.DS.Classes, env.Scn.TemplateM, hpc.AllEvents())
-		det, err := core.Fit(tpl, core.DefaultConfig())
+		det, err := detect.Fit("gmm", tpl, detect.DefaultConfig())
 		if err != nil {
 			return outcome{err: err}
 		}
@@ -262,7 +263,7 @@ func AblationNoise(opts Options) (*NoiseAblationResult, error) {
 			}
 		}
 		adv := resampleNoise(aeTruth, noise, c.rep, seed^3, 1)
-		conf := core.EvaluateEvent(det, hpc.CacheMisses, clean, adv, 1)
+		conf := detect.EvaluateEvent(det, hpc.CacheMisses, clean, adv, 1)
 		return outcome{p: NoisePoint{NoiseScale: c.sc, R: c.rep, F1: conf.F1()}}
 	})
 	res := &NoiseAblationResult{}
@@ -321,60 +322,42 @@ func AblationDetectors(opts Options) (*DetectorComparisonResult, error) {
 	}
 
 	// Paper detector: BIC-selected GMM on cache-misses.
-	det, err := core.Fit(tpl, core.DefaultConfig())
+	det, err := detect.Fit("gmm", tpl, detect.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}
-	add("GMM + BIC (paper)", hpc.CacheMisses, core.EvaluateEvent(det, hpc.CacheMisses, clean, ar.Meas, env.Opts.Workers))
+	add("GMM + BIC (paper)", hpc.CacheMisses, detect.EvaluateEvent(det, hpc.CacheMisses, clean, ar.Meas, env.Opts.Workers))
 
 	// Single-Gaussian template.
-	cfg1 := core.DefaultConfig()
+	cfg1 := detect.DefaultConfig()
 	cfg1.ForceK = 1
-	det1, err := core.Fit(tpl, cfg1)
+	det1, err := detect.Fit("gmm", tpl, cfg1)
 	if err != nil {
 		return nil, err
 	}
-	add("single Gaussian (K=1)", hpc.CacheMisses, core.EvaluateEvent(det1, hpc.CacheMisses, clean, ar.Meas, env.Opts.Workers))
+	add("single Gaussian (K=1)", hpc.CacheMisses, detect.EvaluateEvent(det1, hpc.CacheMisses, clean, ar.Meas, env.Opts.Workers))
 
-	// OR-fusion across all events.
-	var orConf metrics.Confusion
-	for _, m := range clean {
-		orConf.Add(false, det.Detect(m.Pred, m.Counts).AnyFlag())
-	}
-	for _, m := range ar.Meas {
-		orConf.Add(true, det.Detect(m.Pred, m.Counts).AnyFlag())
-	}
-	add("OR over all events", hpc.NumEvents, orConf)
+	// OR-fusion across all events: the same per-event GMM detector, decided
+	// by any channel exceeding its threshold.
+	anyFlag := func(v detect.Verdict) bool { return v.AnyFlag() }
+	add("OR over all events", hpc.NumEvents, detect.EvaluateBy(det, anyFlag, clean, ar.Meas, env.Opts.Workers))
 
 	// Joint multivariate GMM over the data-cache events.
-	fusionEvents := []hpc.Event{hpc.CacheMisses, hpc.L1DLoadMisses, hpc.LLCLoadMisses}
-	fus, err := core.FitFusion(tpl, fusionEvents, core.DefaultConfig())
+	cfgF := detect.DefaultConfig()
+	cfgF.FusionEvents = []hpc.Event{hpc.CacheMisses, hpc.L1DLoadMisses, hpc.LLCLoadMisses}
+	fus, err := detect.Fit("fusion", tpl, cfgF)
 	if err != nil {
 		return nil, err
 	}
-	add("multivariate GMM fusion", hpc.NumEvents, core.EvaluateFusion(fus, clean, ar.Meas, env.Opts.Workers))
+	add("multivariate GMM fusion", hpc.NumEvents, detect.Evaluate(fus, clean, ar.Meas, env.Opts.Workers))
 
 	// Soft-label confidence baseline (requires access the threat model
 	// forbids; shown to quantify the cost of hard-label-only detection).
-	set, err := env.Craft(ablationSpec, n)
+	cd, err := detect.Fit("confidence", tpl, detect.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}
-	cd, err := core.FitConfidence(env.Model, env.ValidationPool(), 3, 4)
-	if err != nil {
-		return nil, err
-	}
-	var confBase metrics.Confusion
-	for _, s := range env.DS.Test {
-		if pred, flagged := cd.Detect(s.X); pred == s.Label {
-			confBase.Add(false, flagged)
-		}
-	}
-	for _, s := range fromDTOs(set.Successful) {
-		_, flagged := cd.Detect(s.X)
-		confBase.Add(true, flagged)
-	}
-	add("confidence baseline (soft-label)", hpc.NumEvents, confBase)
+	add("confidence baseline (soft-label)", hpc.NumEvents, detect.Evaluate(cd, clean, ar.Meas, env.Opts.Workers))
 	return res, nil
 }
 
@@ -451,14 +434,13 @@ func ControlNoise(opts Options) (*ControlNoiseResult, error) {
 		return nil, err
 	}
 	n := ablationSources(opts)
-	cmIdx := det.EventIndex(hpc.CacheMisses)
 	flagRate := func(ms []core.Measurement) float64 {
 		if len(ms) == 0 {
 			return 0
 		}
 		flags := 0
 		for _, m := range ms {
-			if det.Detect(m.Pred, m.Counts).Flags[cmIdx] {
+			if det.Detect(m).FlaggedBy(hpc.CacheMisses) {
 				flags++
 			}
 		}

@@ -7,6 +7,7 @@ import (
 	"advhunter/internal/attack"
 	"advhunter/internal/core"
 	"advhunter/internal/data"
+	"advhunter/internal/detect"
 	"advhunter/internal/tensor"
 	"advhunter/internal/uarch/hpc"
 )
@@ -104,7 +105,7 @@ func AblationAdaptive(opts Options) (*AdaptiveResult, error) {
 			}
 			featDist = meanFeatureDist(atk, succ)
 		}
-		conf := core.EvaluateEvent(det, hpc.CacheMisses, clean, meas, env.Opts.Workers)
+		conf := detect.EvaluateEvent(det, hpc.CacheMisses, clean, meas, env.Opts.Workers)
 		res.Rows = append(res.Rows, AdaptiveRow{
 			Lambda:      lambda,
 			SuccessRate: successRate,

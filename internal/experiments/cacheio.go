@@ -16,7 +16,10 @@ import (
 //	1 — sequential noise stream per measurer (implicit; unversioned files).
 //	2 — per-sample noise re-keying (rng.New(seed).Split(i)) and per-sample
 //	    attack-randomness forks; cached bytes are scheduling-independent.
-const cacheSchema = 2
+//	3 — core.Measurement carries the classifier's softmax confidence (Conf);
+//	    v2 files would decode with Conf=0 and silently break the
+//	    confidence-baseline ablation.
+const cacheSchema = 3
 
 // cacheVersionDir is the cache subdirectory for the current schema, so old
 // and new artifact sets can coexist during migration (v1 files are simply

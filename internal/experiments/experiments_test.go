@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"advhunter/internal/core"
+	"advhunter/internal/detect"
 	"advhunter/internal/uarch/hpc"
 )
 
@@ -168,7 +169,7 @@ func TestDetectorEndToEndOnTestEnv(t *testing.T) {
 	if len(ar.Meas) == 0 {
 		t.Skip("attack produced no successful AEs at this tiny scale")
 	}
-	conf := core.EvaluateEvent(det, hpc.CacheMisses, clean, ar.Meas, 0)
+	conf := detect.EvaluateEvent(det, hpc.CacheMisses, clean, ar.Meas, 0)
 	if conf.Total() != len(clean)+len(ar.Meas) {
 		t.Fatal("evaluation accounting")
 	}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"io"
 
-	"advhunter/internal/core"
+	"advhunter/internal/detect"
 	"advhunter/internal/uarch/hpc"
 )
 
@@ -89,7 +89,7 @@ func Figure4(opts Options) (*Fig4Result, error) {
 			}
 			f1 := 0.0
 			if len(ar.Meas) > 0 {
-				f1 = core.EvaluateEvent(det, hpc.CacheMisses, clean, ar.Meas, env.Opts.Workers).F1()
+				f1 = detect.EvaluateEvent(det, hpc.CacheMisses, clean, ar.Meas, env.Opts.Workers).F1()
 			}
 			res.Points = append(res.Points, Fig4Point{
 				Scenario:      id,

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"advhunter/internal/core"
+	"advhunter/internal/detect"
 	"advhunter/internal/metrics"
 	"advhunter/internal/parallel"
 	"advhunter/internal/rng"
@@ -91,16 +92,16 @@ func Figure6(opts Options) (*Fig6Result, error) {
 						take = len(pool)
 					}
 					for _, idx := range perm[:take] {
-						tpl.Add(c, pool[idx].Counts)
+						tpl.Add(c, pool[idx].Counts, pool[idx].Conf)
 					}
 				}
-				cfg := core.DefaultConfig()
+				cfg := detect.DefaultConfig()
 				cfg.GMM.Seed = uint64(draw)*7919 + 13
-				det, err := core.Fit(tpl, cfg)
+				det, err := detect.Fit("gmm", tpl, cfg)
 				if err != nil {
 					return // tiny M can leave categories unmodelled
 				}
-				f1s[draw] = core.EvaluateEvent(det, hpc.CacheMisses, clean, ar.Meas, 1).F1()
+				f1s[draw] = detect.EvaluateEvent(det, hpc.CacheMisses, clean, ar.Meas, 1).F1()
 				fitted[draw] = true
 			})
 			var kept []float64

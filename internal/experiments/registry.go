@@ -51,6 +51,7 @@ var Registry = map[string]Entry{
 	"ablation-corunner":    {"ablation-corunner", "Shared-LLC co-runner contention sweep (extension)", wrap(AblationCoRunner)},
 	"control-noise":        {"control-noise", "Random-noise control: noisy ≠ adversarial (extension)", wrap(ControlNoise)},
 	"adaptive-attacker":    {"adaptive-attacker", "AdvHunter-aware adaptive attacker sweep (extension)", wrap(AblationAdaptive)},
+	"backend-comparison":   {"backend-comparison", "Every registered detector backend on one workload (extension)", wrap(BackendComparison)},
 }
 
 // IDs returns the registered experiment identifiers in stable order.

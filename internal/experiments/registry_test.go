@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"advhunter/internal/detect"
+)
+
+// TestIDsSortedAndComplete: IDs covers exactly the registry, sorted.
+func TestIDsSortedAndComplete(t *testing.T) {
+	ids := IDs()
+	if !sort.StringsAreSorted(ids) {
+		t.Fatalf("IDs not sorted: %v", ids)
+	}
+	if len(ids) != len(Registry) {
+		t.Fatalf("IDs has %d entries, registry %d", len(ids), len(Registry))
+	}
+	for _, id := range ids {
+		e, ok := Registry[id]
+		if !ok {
+			t.Fatalf("IDs lists %q but the registry has no entry", id)
+		}
+		if e.ID != id {
+			t.Fatalf("entry %q carries mismatched ID %q", id, e.ID)
+		}
+		if e.Description == "" || e.Run == nil {
+			t.Fatalf("entry %q is missing a description or runner", id)
+		}
+	}
+}
+
+// TestEveryExperimentRunsAndRenders runs each registered experiment on the
+// miniature TEST scenario (every internal LoadEnv is redirected there) and
+// renders both the text table and the JSON form. The point is breadth: any
+// experiment whose pipeline breaks under the unified detector stack fails
+// here, not in a multi-hour full run.
+func TestEveryExperimentRunsAndRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment; skipped in -short mode")
+	}
+	env := testEnv(t) // train the TEST model once so every run shares the cache
+	testScenarioID = "TEST"
+	defer func() { testScenarioID = "" }()
+	opts := Options{CacheDir: envDir, Quick: true, Workers: env.Opts.Workers}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Run(id, opts, &buf); err != nil {
+				t.Fatalf("Run(%q): %v", id, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("Run(%q) rendered nothing", id)
+			}
+			var jbuf bytes.Buffer
+			if err := RunJSON(id, opts, &jbuf); err != nil {
+				t.Fatalf("RunJSON(%q): %v", id, err)
+			}
+			if !strings.Contains(jbuf.String(), `"experiment"`) {
+				t.Fatalf("RunJSON(%q) missing envelope:\n%s", id, jbuf.String())
+			}
+		})
+	}
+}
+
+// TestBackendComparisonOneRowPerBackend: the comparison table has exactly one
+// row per registered backend, in registry order.
+func TestBackendComparisonOneRowPerBackend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fits every backend; skipped in -short mode")
+	}
+	env := testEnv(t)
+	testScenarioID = "TEST"
+	defer func() { testScenarioID = "" }()
+	res, err := BackendComparison(Options{CacheDir: envDir, Quick: true, Workers: env.Opts.Workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := detect.Kinds()
+	if len(res.Rows) != len(kinds) {
+		t.Fatalf("comparison has %d rows, want one per backend (%v)", len(res.Rows), kinds)
+	}
+	for i, row := range res.Rows {
+		if row.Backend != kinds[i] {
+			t.Fatalf("row %d is %q, want %q", i, row.Backend, kinds[i])
+		}
+		if row.FPR < 0 || row.FPR > 1 || row.TPR < 0 || row.TPR > 1 {
+			t.Fatalf("row %q has out-of-range rates: %+v", row.Backend, row)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	for _, k := range kinds {
+		if !strings.Contains(buf.String(), k) {
+			t.Fatalf("rendered comparison missing backend %q:\n%s", k, buf.String())
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHeadingUnderlinesTitle(t *testing.T) {
+	var buf bytes.Buffer
+	heading(&buf, "Table %d: %s", 2, "per-category detection")
+	lines := strings.Split(strings.Trim(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("heading rendered %d lines: %q", len(lines), buf.String())
+	}
+	if lines[0] != "Table 2: per-category detection" {
+		t.Fatalf("title %q", lines[0])
+	}
+	if lines[1] != strings.Repeat("=", len(lines[0])) {
+		t.Fatalf("underline %q does not match title width %d", lines[1], len(lines[0]))
+	}
+}
+
+func TestPctAndF4(t *testing.T) {
+	if got := pct(0.1234); got != "12.34%" {
+		t.Fatalf("pct: %q", got)
+	}
+	if got := pct(1); got != "100.00%" {
+		t.Fatalf("pct(1): %q", got)
+	}
+	if got := f4(0.98765); got != "0.9877" {
+		t.Fatalf("f4: %q", got)
+	}
+}
+
+func TestTableColumnAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	tb := newTable("ev", "value-with-long-header")
+	tb.add("cache-misses", 0.5) // float64 cells format as %.4f
+	tb.addf("x", "y")
+	tb.render(&buf)
+	lines := strings.Split(strings.Trim(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header+rule+2 rows, got %d lines:\n%s", len(lines), buf.String())
+	}
+	// The rule matches each column's width.
+	if lines[1] != "------------  ----------------------" {
+		t.Fatalf("rule %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "0.5000") {
+		t.Fatalf("float cell not rendered with 4 decimals: %q", lines[2])
+	}
+	// Trailing whitespace is trimmed from short rows.
+	if lines[3] != "x             y" {
+		t.Fatalf("row %q", lines[3])
+	}
+}
+
+func TestPadWidths(t *testing.T) {
+	if got := pad("ab", 5); got != "ab   " {
+		t.Fatalf("pad: %q", got)
+	}
+	if got := pad("abcdef", 3); got != "abcdef" {
+		t.Fatalf("pad must not truncate: %q", got)
+	}
+}

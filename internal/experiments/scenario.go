@@ -20,6 +20,7 @@ import (
 	"advhunter/internal/attack"
 	"advhunter/internal/core"
 	"advhunter/internal/data"
+	"advhunter/internal/detect"
 	"advhunter/internal/engine"
 	"advhunter/internal/models"
 	"advhunter/internal/rng"
@@ -129,8 +130,19 @@ func (e *Env) cachePath(name string) string {
 	return filepath.Join(e.Opts.CacheDir, cacheVersionDir, e.Scn.ID, name)
 }
 
+// testScenarioID, when non-empty, redirects every LoadEnv call to the named
+// scenario. The registry smoke test sets it so each registered experiment —
+// most hard-code S1/S2/S3 — exercises its full pipeline on the miniature
+// TEST scenario instead of training the real models.
+var testScenarioID string
+
 // LoadEnv builds (or restores from cache) the scenario environment.
 func LoadEnv(id string, opts Options) (*Env, error) {
+	if testScenarioID != "" {
+		if _, ok := Scenarios[id]; ok {
+			id = testScenarioID
+		}
+	}
 	scn, ok := Scenarios[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown scenario %q", id)
@@ -223,7 +235,7 @@ func TemplateFromMeasurements(ms []core.Measurement, classes, m int, events []hp
 		if meas.Pred < 0 || meas.Pred >= classes || taken[meas.Pred] >= m {
 			continue
 		}
-		t.Add(meas.Pred, projectCounts(meas.Counts))
+		t.Add(meas.Pred, projectCounts(meas.Counts), meas.Conf)
 		taken[meas.Pred]++
 	}
 	return t
@@ -233,15 +245,22 @@ func TemplateFromMeasurements(ms []core.Measurement, classes, m int, events []hp
 // events later.
 func projectCounts(c hpc.Counts) hpc.Counts { return c }
 
-// Detector fits the default AdvHunter detector over all events with the
-// scenario's template size.
-func (e *Env) Detector() (*core.Detector, error) {
+// Detector fits the default AdvHunter detector (the paper's per-event GMM
+// backend) over all events with the scenario's template size.
+func (e *Env) Detector() (*detect.Fitted, error) {
+	return e.DetectorKind("gmm", detect.DefaultConfig())
+}
+
+// DetectorKind fits any registered detector backend over all events with the
+// scenario's template size — the entry point of the backend-comparison
+// experiment.
+func (e *Env) DetectorKind(kind string, cfg detect.Config) (*detect.Fitted, error) {
 	ms, err := e.ValidationMeasurements()
 	if err != nil {
 		return nil, err
 	}
 	tpl := TemplateFromMeasurements(ms, e.DS.Classes, e.Scn.TemplateM, hpc.AllEvents())
-	return core.Fit(tpl, core.DefaultConfig())
+	return detect.Fit(kind, tpl, cfg)
 }
 
 // AttackSpec names a crafted adversarial workload.

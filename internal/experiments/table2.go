@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"advhunter/internal/core"
+	"advhunter/internal/detect"
 	"advhunter/internal/metrics"
 	"advhunter/internal/uarch/hpc"
 )
@@ -90,7 +91,7 @@ func Table2(opts Options) (*Table2Result, error) {
 			N:        len(bySource[c]),
 		}
 		for _, e := range events {
-			conf := core.EvaluateEvent(det, e, clean, bySource[c], env.Opts.Workers)
+			conf := detect.EvaluateEvent(det, e, clean, bySource[c], env.Opts.Workers)
 			row.Acc[e] = conf.Accuracy()
 			row.F1[e] = conf.F1()
 			overall[e].Merge(conf)

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"io"
 
-	"advhunter/internal/core"
+	"advhunter/internal/detect"
 	"advhunter/internal/uarch/hpc"
 )
 
@@ -43,7 +43,7 @@ func Table3(opts Options) (*Table3Result, error) {
 		for _, e := range hpc.CacheAblationEvents() {
 			f1 := 0.0
 			if len(ar.Meas) > 0 {
-				f1 = core.EvaluateEvent(det, e, clean, ar.Meas, env.Opts.Workers).F1()
+				f1 = detect.EvaluateEvent(det, e, clean, ar.Meas, env.Opts.Workers).F1()
 			}
 			res.F1[e] = append(res.F1[e], f1)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"advhunter/internal/core"
+	"advhunter/internal/detect"
 	"advhunter/internal/engine"
 	"advhunter/internal/metrics"
 	"advhunter/internal/parallel"
@@ -54,7 +55,7 @@ func (e *Env) VariantEvaluation(v Variant, spec AttackSpec, nSources int, event 
 		return metrics.Confusion{}, err
 	}
 	tpl := TemplateFromMeasurements(valMeas, e.DS.Classes, e.Scn.TemplateM, hpc.AllEvents())
-	det, err := core.Fit(tpl, core.DefaultConfig())
+	det, err := detect.Fit("gmm", tpl, detect.DefaultConfig())
 	if err != nil {
 		return metrics.Confusion{}, err
 	}
@@ -80,7 +81,7 @@ func (e *Env) VariantEvaluation(v Variant, spec AttackSpec, nSources int, event 
 	if err != nil {
 		return metrics.Confusion{}, err
 	}
-	return core.EvaluateEvent(det, event, clean, aeMeas, e.Opts.Workers), nil
+	return detect.EvaluateEvent(det, event, clean, aeMeas, e.Opts.Workers), nil
 }
 
 // TruthMeasurements returns noise-free per-image counter snapshots for the
@@ -119,7 +120,7 @@ func (e *Env) TruthMeasurements(which string, spec AttackSpec, nSources int) ([]
 func resampleNoise(truth []core.Measurement, noise hpc.NoiseModel, repeats int, seed uint64, workers int) []core.Measurement {
 	return parallel.Map(workers, truth, func(i int, m core.Measurement) core.Measurement {
 		s := hpc.NewSamplerFrom(noise, rng.New(seed).Split(uint64(i)))
-		return core.Measurement{Pred: m.Pred, TrueLabel: m.TrueLabel, Counts: s.MeasureMean(m.Counts, repeats)}
+		return core.Measurement{Pred: m.Pred, TrueLabel: m.TrueLabel, Counts: s.MeasureMean(m.Counts, repeats), Conf: m.Conf}
 	})
 }
 

@@ -57,6 +57,18 @@ func (c Confusion) Recall() float64 {
 	return float64(c.TP) / float64(c.TP+c.FN)
 }
 
+// TPR returns the true-positive rate — an alias of Recall under the name the
+// detection tables use.
+func (c Confusion) TPR() float64 { return c.Recall() }
+
+// FPR returns FP/(FP+TN), the fraction of clean inputs wrongly flagged.
+func (c Confusion) FPR() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
 // F1 returns the harmonic mean of precision and recall.
 func (c Confusion) F1() float64 {
 	p, r := c.Precision(), c.Recall()

@@ -6,8 +6,6 @@ import (
 	"sort"
 	"sync"
 	"time"
-
-	"advhunter/internal/uarch/hpc"
 )
 
 // latencyBuckets are the request-latency histogram bounds in seconds,
@@ -25,6 +23,10 @@ var batchBuckets = []float64{1, 2, 4, 8, 16, 32}
 type metrics struct {
 	mu sync.Mutex
 
+	// backend labels every detection-side series with the served detector's
+	// kind, so dashboards can tell a gmm guard from a fusion guard.
+	backend string
+
 	requests map[int]uint64 // by HTTP status code
 
 	latencyCount uint64
@@ -36,16 +38,17 @@ type metrics struct {
 	batchBins  []uint64
 
 	scans   uint64 // detection decisions made
-	flagged uint64 // decisions with the decision event flagged
-	flags   map[hpc.Event]uint64
+	flagged uint64 // decisions answered adversarial
+	flags   map[string]uint64
 }
 
-func newMetrics() *metrics {
+func newMetrics(backend string) *metrics {
 	return &metrics{
+		backend:     backend,
 		requests:    make(map[int]uint64),
 		latencyBins: make([]uint64, len(latencyBuckets)),
 		batchBins:   make([]uint64, len(batchBuckets)),
-		flags:       make(map[hpc.Event]uint64),
+		flags:       make(map[string]uint64),
 	}
 }
 
@@ -79,17 +82,17 @@ func (m *metrics) observeBatch(size int) {
 	}
 }
 
-// observeDecision records one detection decision and its per-event flags.
-func (m *metrics) observeDecision(events []hpc.Event, flags []bool, adversarial bool) {
+// observeDecision records one detection decision and its per-channel flags.
+func (m *metrics) observeDecision(channels []string, flags []bool, adversarial bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.scans++
 	if adversarial {
 		m.flagged++
 	}
-	for n, f := range flags {
+	for i, f := range flags {
 		if f {
-			m.flags[events[n]]++
+			m.flags[channels[i]]++
 		}
 	}
 }
@@ -126,21 +129,21 @@ func (m *metrics) render(w io.Writer, queueDepth, queueCap int) {
 
 	fmt.Fprintln(w, "# HELP advhunter_scans_total Detection decisions made.")
 	fmt.Fprintln(w, "# TYPE advhunter_scans_total counter")
-	fmt.Fprintf(w, "advhunter_scans_total %d\n", m.scans)
+	fmt.Fprintf(w, "advhunter_scans_total{backend=%q} %d\n", m.backend, m.scans)
 
-	fmt.Fprintln(w, "# HELP advhunter_flagged_total Decisions flagged adversarial by the decision event.")
+	fmt.Fprintln(w, "# HELP advhunter_flagged_total Decisions answered adversarial.")
 	fmt.Fprintln(w, "# TYPE advhunter_flagged_total counter")
-	fmt.Fprintf(w, "advhunter_flagged_total %d\n", m.flagged)
+	fmt.Fprintf(w, "advhunter_flagged_total{backend=%q} %d\n", m.backend, m.flagged)
 
-	fmt.Fprintln(w, "# HELP advhunter_flags_total Per-event threshold exceedances.")
+	fmt.Fprintln(w, "# HELP advhunter_flags_total Per-channel threshold exceedances.")
 	fmt.Fprintln(w, "# TYPE advhunter_flags_total counter")
-	evs := make([]hpc.Event, 0, len(m.flags))
-	for e := range m.flags {
-		evs = append(evs, e)
+	chs := make([]string, 0, len(m.flags))
+	for ch := range m.flags {
+		chs = append(chs, ch)
 	}
-	sort.Slice(evs, func(i, j int) bool { return evs[i] < evs[j] })
-	for _, e := range evs {
-		fmt.Fprintf(w, "advhunter_flags_total{event=%q} %d\n", e, m.flags[e])
+	sort.Strings(chs)
+	for _, ch := range chs {
+		fmt.Fprintf(w, "advhunter_flags_total{backend=%q,channel=%q} %d\n", m.backend, ch, m.flags[ch])
 	}
 
 	fmt.Fprintln(w, "# HELP advhunter_request_duration_seconds End-to-end request latency.")

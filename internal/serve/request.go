@@ -102,13 +102,16 @@ func DecodeRequest(body []byte, want [3]int) (*Request, error) {
 }
 
 // Response is one detection decision, mirrored back with the index that
-// keyed its noise stream. Scores and Flags are keyed by perf event name;
-// encoding/json sorts map keys, so equal decisions render byte-identical
-// bodies — the property the determinism tests assert end to end.
+// keyed its noise stream. Scores and Flags are keyed by channel name (perf
+// event names for per-event backends, "fusion"/"confidence" for the
+// combinators); encoding/json sorts map keys, so equal decisions render
+// byte-identical bodies — the property the determinism tests assert end to
+// end.
 type Response struct {
 	Index          uint64             `json:"index"`
 	PredictedClass int                `json:"predicted_class"`
 	ClassName      string             `json:"class_name,omitempty"`
+	Backend        string             `json:"backend"`
 	Modelled       bool               `json:"modelled"`
 	Adversarial    bool               `json:"adversarial"`
 	Scores         map[string]float64 `json:"scores"`

@@ -17,6 +17,7 @@ import (
 	"advhunter/internal/attack"
 	"advhunter/internal/core"
 	"advhunter/internal/data"
+	"advhunter/internal/detect"
 	"advhunter/internal/engine"
 	"advhunter/internal/models"
 	"advhunter/internal/train"
@@ -29,7 +30,8 @@ import (
 type fixture struct {
 	ds    *data.Dataset
 	meas  *core.Measurer
-	det   *core.Detector
+	tpl   *core.Template
+	det   *detect.Fitted
 	clean []data.Sample // clean test images
 	adv   []data.Sample // successful targeted FGSM examples
 }
@@ -55,7 +57,7 @@ func getFixture(t *testing.T) *fixture {
 		}
 		meas := core.NewMeasurer(engine.NewDefault(m), 1234)
 		tpl := core.BuildTemplate(meas.Clone(), ds.Train, ds.Classes, hpc.CoreEvents())
-		det, err := core.Fit(tpl, core.DefaultConfig())
+		det, err := detect.Fit("gmm", tpl, detect.DefaultConfig())
 		if err != nil {
 			return
 		}
@@ -70,7 +72,7 @@ func getFixture(t *testing.T) *fixture {
 		if len(adv) < 20 {
 			return
 		}
-		fix = &fixture{ds: ds, meas: meas, det: det, clean: ds.Test, adv: adv}
+		fix = &fixture{ds: ds, meas: meas, tpl: tpl, det: det, clean: ds.Test, adv: adv}
 	})
 	if fix == nil {
 		t.Fatal("serve fixture failed to build (training or attack collapsed)")
@@ -122,12 +124,12 @@ func TestServeEndToEnd(t *testing.T) {
 
 	// Fit once, serve many: the server loads the persisted artifact.
 	path := filepath.Join(t.TempDir(), "detector.gob")
-	if err := core.SaveDetector(path, f.det); err != nil {
-		t.Fatalf("SaveDetector: %v", err)
+	if err := detect.Save(path, f.det); err != nil {
+		t.Fatalf("Save: %v", err)
 	}
-	det, ok := core.TryLoadDetector(path)
+	det, ok := detect.TryLoad(path)
 	if !ok {
-		t.Fatal("TryLoadDetector missed a fresh artifact")
+		t.Fatal("TryLoad missed a fresh artifact")
 	}
 	s := New(f.meas.Clone(), det, Config{Workers: 2, ClassName: func(c int) string {
 		return data.ClassName("fashionmnist", c)
@@ -197,19 +199,71 @@ func TestServeEndToEnd(t *testing.T) {
 	if !strings.Contains(metricsText, want200) {
 		t.Fatalf("/metrics missing %q:\n%s", want200, metricsText)
 	}
-	wantScans := fmt.Sprintf("advhunter_scans_total %d", nClean+nAdv)
+	wantScans := fmt.Sprintf(`advhunter_scans_total{backend="gmm"} %d`, nClean+nAdv)
 	if !strings.Contains(metricsText, wantScans) {
 		t.Fatalf("/metrics missing %q:\n%s", wantScans, metricsText)
 	}
-	wantFlagged := fmt.Sprintf("advhunter_flagged_total %d", cleanFlags+advFlags)
+	wantFlagged := fmt.Sprintf(`advhunter_flagged_total{backend="gmm"} %d`, cleanFlags+advFlags)
 	if !strings.Contains(metricsText, wantFlagged) {
 		t.Fatalf("/metrics missing %q:\n%s", wantFlagged, metricsText)
 	}
-	if !strings.Contains(metricsText, `advhunter_flags_total{event="cache-misses"}`) {
-		t.Fatalf("/metrics missing per-event flag counter:\n%s", metricsText)
+	if !strings.Contains(metricsText, `advhunter_flags_total{backend="gmm",channel="cache-misses"}`) {
+		t.Fatalf("/metrics missing per-channel flag counter:\n%s", metricsText)
 	}
 	if !strings.Contains(metricsText, "advhunter_queue_capacity 64") {
 		t.Fatalf("/metrics missing queue capacity gauge:\n%s", metricsText)
+	}
+}
+
+// TestServeAnyBackend: every registered detector backend serves through the
+// same HTTP path — the server is generic over detect.Detector, and each
+// response and metric series is labelled with the backend's kind.
+func TestServeAnyBackend(t *testing.T) {
+	f := getFixture(t)
+	for _, kind := range detect.Kinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			var det *detect.Fitted
+			if kind == "gmm" {
+				det = f.det // reuse the fixture's fit; the others are cheap
+			} else {
+				var err error
+				if det, err = detect.Fit(kind, f.tpl, detect.DefaultConfig()); err != nil {
+					t.Fatalf("Fit(%q): %v", kind, err)
+				}
+			}
+			s := New(f.meas.Clone(), det, Config{Workers: 1})
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+			defer s.Shutdown(context.Background())
+
+			resp, body := post(t, ts.URL, NewRequest(f.clean[0].X, 0))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, body)
+			}
+			var r Response
+			if err := json.Unmarshal(body, &r); err != nil {
+				t.Fatal(err)
+			}
+			if r.Backend != kind {
+				t.Fatalf("response backend %q, want %q", r.Backend, kind)
+			}
+			for _, ch := range det.Channels() {
+				if _, ok := r.Scores[ch]; !ok {
+					t.Fatalf("response missing score channel %q: %s", ch, body)
+				}
+			}
+			mresp, err := http.Get(ts.URL + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			mbody, _ := io.ReadAll(mresp.Body)
+			mresp.Body.Close()
+			want := fmt.Sprintf(`advhunter_scans_total{backend=%q} 1`, kind)
+			if !strings.Contains(string(mbody), want) {
+				t.Fatalf("/metrics missing %q:\n%s", want, mbody)
+			}
+		})
 	}
 }
 

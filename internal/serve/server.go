@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"advhunter/internal/core"
+	"advhunter/internal/detect"
 	"advhunter/internal/parallel"
 	"advhunter/internal/tensor"
 	"advhunter/internal/uarch/hpc"
@@ -89,17 +90,18 @@ type job struct {
 	idx uint64
 	x   *tensor.Tensor
 	ctx context.Context
-	out chan core.Result // buffered(1); worker send never blocks
+	out chan detect.Verdict // buffered(1); worker send never blocks
 }
 
 // Server is the online detection service. Build with New, expose with
 // Handler, stop with Shutdown.
 type Server struct {
-	cfg     Config
-	det     *core.Detector
-	workers []*core.Measurer
-	shape   [3]int
-	decIdx  int // index of DecisionEvent in det.Events, -1 if unmodelled
+	cfg      Config
+	det      detect.Detector
+	channels []string
+	workers  []*core.Measurer
+	shape    [3]int
+	decIdx   int // index of DecisionEvent in det.Channels(), -1 if absent
 
 	queue chan *job
 	next  atomic.Uint64 // server-assigned indices for index-less requests
@@ -115,21 +117,29 @@ type Server struct {
 
 // New builds and starts the service around a measurer (whose engine defines
 // the served model; New takes ownership and clones it Workers-1 times) and
-// a fitted detector — typically loaded with core.TryLoadDetector, the "fit
-// once, serve many" path.
-func New(m *core.Measurer, det *core.Detector, cfg Config) *Server {
+// a fitted detector of any registered backend — typically loaded with
+// detect.TryLoad, the "fit once, serve many" path.
+func New(m *core.Measurer, det detect.Detector, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	meta := m.Engine.Model.Meta
+	channels := det.Channels()
+	decIdx := -1
+	for i, ch := range channels {
+		if ch == cfg.DecisionEvent.String() {
+			decIdx = i
+		}
+	}
 	s := &Server{
-		cfg:     cfg,
-		det:     det,
-		workers: make([]*core.Measurer, cfg.Workers),
-		shape:   [3]int{meta.InC, meta.InH, meta.InW},
-		decIdx:  det.EventIndex(cfg.DecisionEvent),
-		queue:   make(chan *job, cfg.QueueSize),
-		done:    make(chan struct{}),
-		stats:   newMetrics(),
-		gate:    cfg.gate,
+		cfg:      cfg,
+		det:      det,
+		channels: channels,
+		workers:  make([]*core.Measurer, cfg.Workers),
+		shape:    [3]int{meta.InC, meta.InH, meta.InW},
+		decIdx:   decIdx,
+		queue:    make(chan *job, cfg.QueueSize),
+		done:     make(chan struct{}),
+		stats:    newMetrics(det.Kind()),
+		gate:     cfg.gate,
 	}
 	s.workers[0] = m
 	for w := 1; w < cfg.Workers; w++ {
@@ -218,19 +228,19 @@ func (s *Server) process(batch []*job) {
 	}
 	s.stats.observeBatch(len(live))
 	parallel.MapWorkers(len(s.workers), live, func(worker, _ int, j *job) struct{} {
-		pred, counts := s.workers[worker].MeasureAt(j.idx, j.x)
-		res := s.det.Detect(pred, counts)
-		j.out <- res
+		j.out <- s.det.Detect(s.workers[worker].MeasureAt(j.idx, j.x))
 		return struct{}{}
 	})
 }
 
-// adversarial applies the service's decision rule to one result.
-func (s *Server) adversarial(res core.Result) bool {
+// adversarial applies the service's decision rule to one verdict: the
+// configured decision event's channel when the detector has one, otherwise
+// the detector's own fused decision.
+func (s *Server) adversarial(v detect.Verdict) bool {
 	if s.decIdx >= 0 {
-		return res.Flags[s.decIdx]
+		return v.Flags[s.decIdx]
 	}
-	return res.AnyFlag()
+	return v.Fused
 }
 
 // handleDetect is POST /detect: decode, validate, admit, await the verdict.
@@ -264,7 +274,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
-	j := &job{idx: idx, x: req.Tensor(), ctx: ctx, out: make(chan core.Result, 1)}
+	j := &job{idx: idx, x: req.Tensor(), ctx: ctx, out: make(chan detect.Verdict, 1)}
 
 	// Admission. The WaitGroup brackets the draining check and the enqueue
 	// so Shutdown can close the queue only after every in-flight handler
@@ -288,9 +298,9 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	}
 
 	select {
-	case res := <-j.out:
-		resp := s.response(idx, res)
-		s.stats.observeDecision(s.det.Events, res.Flags, resp.Adversarial)
+	case v := <-j.out:
+		resp := s.response(idx, v)
+		s.stats.observeDecision(s.channels, v.Flags, resp.Adversarial)
 		s.writeJSON(w, http.StatusOK, resp)
 		status(http.StatusOK)
 	case <-ctx.Done():
@@ -299,22 +309,23 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// response renders one detection result.
-func (s *Server) response(idx uint64, res core.Result) Response {
+// response renders one detection verdict.
+func (s *Server) response(idx uint64, v detect.Verdict) Response {
 	resp := Response{
 		Index:          idx,
-		PredictedClass: res.PredictedClass,
-		Modelled:       res.Modelled,
-		Adversarial:    s.adversarial(res),
-		Scores:         make(map[string]float64, len(s.det.Events)),
-		Flags:          make(map[string]bool, len(s.det.Events)),
+		PredictedClass: v.PredictedClass,
+		Backend:        s.det.Kind(),
+		Modelled:       v.Modelled,
+		Adversarial:    s.adversarial(v),
+		Scores:         make(map[string]float64, len(s.channels)),
+		Flags:          make(map[string]bool, len(s.channels)),
 	}
 	if s.cfg.ClassName != nil {
-		resp.ClassName = s.cfg.ClassName(res.PredictedClass)
+		resp.ClassName = s.cfg.ClassName(v.PredictedClass)
 	}
-	for n, e := range s.det.Events {
-		resp.Scores[e.String()] = res.Scores[n]
-		resp.Flags[e.String()] = res.Flags[n]
+	for i, ch := range s.channels {
+		resp.Scores[ch] = v.Scores[i]
+		resp.Flags[ch] = v.Flags[i]
 	}
 	return resp
 }

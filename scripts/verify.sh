@@ -1,11 +1,20 @@
 #!/usr/bin/env sh
-# Repository verification: the tier-1 gate plus the race-detector pass over
-# the packages that fan out over goroutines (the measurement pipeline, its
-# engine replicas, the parallel primitive, and the online serving layer).
+# Repository verification: formatting and vet gates, the tier-1 build+test
+# gate, plus the race-detector pass over the packages that fan out over
+# goroutines (the measurement pipeline, its engine replicas, the parallel
+# primitive, the detector evaluator, and the online serving layer).
 # Full ./... under -race is too slow for CI; the concurrency all lives
-# behind these four packages.
+# behind these five packages.
 set -eu
 cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files are not formatted:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "== build =="
 go build ./...
@@ -20,7 +29,7 @@ go vet ./examples/...
 echo "== test =="
 go test ./...
 
-echo "== race (parallel pipeline + serving) =="
-go test -race ./internal/parallel ./internal/core ./internal/engine ./internal/serve
+echo "== race (parallel pipeline + detection + serving) =="
+go test -race ./internal/parallel ./internal/core ./internal/engine ./internal/detect ./internal/serve
 
 echo "verify: OK"
