@@ -20,7 +20,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -31,6 +34,8 @@ import (
 	"advhunter/internal/data"
 	"advhunter/internal/detect"
 	"advhunter/internal/experiments"
+	"advhunter/internal/obs"
+	"advhunter/internal/parallel"
 	"advhunter/internal/serve"
 	"advhunter/internal/uarch/hpc"
 )
@@ -46,10 +51,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		usage(stderr)
 		return 2
 	}
+	obs.RegisterBuildInfo(obs.Default) // advhunter_build_info on every scrape
 	var err error
 	switch args[0] {
 	case "list":
 		err = cmdList(stdout)
+	case "version":
+		err = cmdVersion(stdout)
 	case "experiment":
 		err = cmdExperiment(args[1:], stdout, stderr)
 	case "train":
@@ -85,6 +93,7 @@ func usage(w io.Writer) {
 
 commands:
   list        list experiments and scenarios
+  version     print build metadata (version, go version, vcs revision)
   experiment  run one experiment by id (-id table2)
   train       train or load one scenario model (-scenario S2)
   attack      craft adversarial examples and report attack statistics
@@ -95,21 +104,51 @@ commands:
 run 'advhunter <command> -h' for flags.`)
 }
 
-// commonFlags registers the flags every subcommand shares.
-func commonFlags(fs *flag.FlagSet) (cache *string, quick *bool, verbose *bool, workers *int) {
-	cache = fs.String("cache", "artifacts/cache", "cache directory for models and measurements (empty disables)")
-	quick = fs.Bool("quick", false, "reduced workload sizes (for smoke tests)")
-	verbose = fs.Bool("v", false, "log progress to stderr")
-	workers = fs.Int("workers", 0, "worker goroutines for measurement/attack fan-out (0 = GOMAXPROCS, 1 = serial; results are identical for any value)")
-	return
+// commonOpts holds the flags every subcommand shares: cache location,
+// workload sizing, worker-pool width, and the structured-logging knobs.
+type commonOpts struct {
+	cache     *string
+	quick     *bool
+	verbose   *bool
+	workers   *int
+	logLevel  *string
+	logFormat *string
 }
 
-func optionsFrom(cache string, quick, verbose bool, workers int) experiments.Options {
+// commonFlags registers the flags every subcommand shares.
+func commonFlags(fs *flag.FlagSet) commonOpts {
+	return commonOpts{
+		cache:     fs.String("cache", "artifacts/cache", "cache directory for models and measurements (empty disables)"),
+		quick:     fs.Bool("quick", false, "reduced workload sizes (for smoke tests)"),
+		verbose:   fs.Bool("v", false, "log progress to stderr"),
+		workers:   fs.Int("workers", 0, "worker goroutines for measurement/attack fan-out (0 = GOMAXPROCS, 1 = serial; results are identical for any value)"),
+		logLevel:  fs.String("log-level", "info", "structured-log level: debug, info, warn, error"),
+		logFormat: fs.String("log-format", "json", "structured-log format: json or text"),
+	}
+}
+
+func (c commonOpts) options() experiments.Options {
 	var log io.Writer
-	if verbose {
+	if *c.verbose {
 		log = os.Stderr
 	}
-	return experiments.Options{CacheDir: cache, Quick: quick, Log: log, Workers: workers}
+	return experiments.Options{CacheDir: *c.cache, Quick: *c.quick, Log: log, Workers: *c.workers}
+}
+
+// logger builds the process logger from the logging flags and installs it as
+// slog's default, so library code logging through slog.Default() follows the
+// same -log-level/-log-format settings.
+func (c commonOpts) logger(stderr io.Writer) (*slog.Logger, error) {
+	level, err := obs.ParseLevel(*c.logLevel)
+	if err != nil {
+		return nil, err
+	}
+	logger, err := obs.NewLogger(stderr, level, *c.logFormat)
+	if err != nil {
+		return nil, err
+	}
+	slog.SetDefault(logger)
+	return logger, nil
 }
 
 // detectorOpts holds the detector-selection flags shared by fit, scan and
@@ -176,6 +215,19 @@ func loadOrFitDetector(env *experiments.Env, o detectorOpts) (*detect.Fitted, er
 	return det, nil
 }
 
+func cmdVersion(stdout io.Writer) error {
+	info := obs.Build()
+	fmt.Fprintf(stdout, "advhunter %s (%s)\n", info.Version, info.GoVersion)
+	if info.Revision != "" {
+		dirty := ""
+		if info.Modified {
+			dirty = " (modified)"
+		}
+		fmt.Fprintf(stdout, "commit %s%s\n", info.Revision, dirty)
+	}
+	return nil
+}
+
 func cmdList(stdout io.Writer) error {
 	fmt.Fprintln(stdout, "experiments:")
 	for _, id := range experiments.IDs() {
@@ -204,8 +256,12 @@ func cmdExperiment(args []string, stdout, stderr io.Writer) error {
 	asJSON := fs.Bool("json", false, "emit the result as JSON instead of a table")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
-	cache, quick, verbose, workers := commonFlags(fs)
+	copts := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := copts.logger(stderr)
+	if err != nil {
 		return err
 	}
 	if *cpuProfile != "" {
@@ -233,14 +289,31 @@ func cmdExperiment(args []string, stdout, stderr io.Writer) error {
 			}
 		}()
 	}
-	opts := optionsFrom(*cache, *quick, *verbose, *workers)
+	opts := copts.options()
 	runFn := experiments.Run
 	if *asJSON {
 		runFn = experiments.RunJSON
 	}
+	// runOne wraps one experiment with a structured run summary: wall time,
+	// worker-pool width, and the process-lifetime cache counters.
+	runOne := func(eid string) error {
+		start := time.Now()
+		if err := runFn(eid, opts, stdout); err != nil {
+			return err
+		}
+		hits, misses, writes := experiments.CacheStats()
+		logger.Info("experiment complete",
+			slog.String("id", eid),
+			slog.Duration("wall_time", time.Since(start)),
+			slog.Int("workers", parallel.Workers(*copts.workers, 0)),
+			slog.Uint64("cache_hits", hits),
+			slog.Uint64("cache_misses", misses),
+			slog.Uint64("cache_writes", writes))
+		return nil
+	}
 	if *id == "all" {
 		for _, eid := range experiments.IDs() {
-			if err := runFn(eid, opts, stdout); err != nil {
+			if err := runOne(eid); err != nil {
 				return fmt.Errorf("experiment %s: %w", eid, err)
 			}
 		}
@@ -249,18 +322,21 @@ func cmdExperiment(args []string, stdout, stderr io.Writer) error {
 	if *id == "" {
 		return fmt.Errorf("missing -id (see 'advhunter list')")
 	}
-	return runFn(*id, opts, stdout)
+	return runOne(*id)
 }
 
 func cmdTrain(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("train", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	scenario := fs.String("scenario", "S2", "scenario id (S1, S2, S3, CS)")
-	cache, quick, verbose, workers := commonFlags(fs)
+	copts := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	env, err := experiments.LoadEnv(*scenario, optionsFrom(*cache, *quick, *verbose, *workers))
+	if _, err := copts.logger(stderr); err != nil {
+		return err
+	}
+	env, err := experiments.LoadEnv(*scenario, copts.options())
 	if err != nil {
 		return err
 	}
@@ -278,11 +354,14 @@ func cmdAttack(args []string, stdout, stderr io.Writer) error {
 	eps := fs.Float64("eps", 0.1, "attack strength (L∞); ignored by deepfool")
 	targeted := fs.Bool("targeted", false, "targeted variant (toward the scenario target class)")
 	n := fs.Int("n", 60, "number of source images")
-	cache, quick, verbose, workers := commonFlags(fs)
+	copts := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	env, err := experiments.LoadEnv(*scenario, optionsFrom(*cache, *quick, *verbose, *workers))
+	if _, err := copts.logger(stderr); err != nil {
+		return err
+	}
+	env, err := experiments.LoadEnv(*scenario, copts.options())
 	if err != nil {
 		return err
 	}
@@ -303,8 +382,11 @@ func cmdFit(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	scenario := fs.String("scenario", "S2", "scenario id")
 	dopts := detectorFlags(fs)
-	cache, quick, verbose, workers := commonFlags(fs)
+	copts := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := copts.logger(stderr); err != nil {
 		return err
 	}
 	if *dopts.path == "" {
@@ -314,7 +396,7 @@ func cmdFit(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	env, err := experiments.LoadEnv(*scenario, optionsFrom(*cache, *quick, *verbose, *workers))
+	env, err := experiments.LoadEnv(*scenario, copts.options())
 	if err != nil {
 		return err
 	}
@@ -338,12 +420,14 @@ func cmdScan(args []string, stdout, stderr io.Writer) error {
 	n := fs.Int("n", 10, "number of test images to scan (clean + adversarial)")
 	eps := fs.Float64("eps", 0.5, "strength of the demonstration attack")
 	dopts := detectorFlags(fs)
-	cache, quick, verbose, workers := commonFlags(fs)
+	copts := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := optionsFrom(*cache, *quick, *verbose, *workers)
-	env, err := experiments.LoadEnv(*scenario, opts)
+	if _, err := copts.logger(stderr); err != nil {
+		return err
+	}
+	env, err := experiments.LoadEnv(*scenario, copts.options())
 	if err != nil {
 		return err
 	}
@@ -388,15 +472,20 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	batchWait := fs.Duration("batch-wait", 2*time.Millisecond, "micro-batcher linger after the first queued request")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request budget including queueing")
 	event := fs.String("event", hpc.CacheMisses.String(), "perf event driving the adversarial verdict")
-	cache, quick, verbose, workers := commonFlags(fs)
+	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof profiling endpoints")
+	copts := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := copts.logger(stderr)
+	if err != nil {
 		return err
 	}
 	decision, err := hpc.ParseEvent(*event)
 	if err != nil {
 		return err
 	}
-	env, err := experiments.LoadEnv(*scenario, optionsFrom(*cache, *quick, *verbose, *workers))
+	env, err := experiments.LoadEnv(*scenario, copts.options())
 	if err != nil {
 		return err
 	}
@@ -408,14 +497,32 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	dataset := env.Scn.Dataset
 	srv := serve.New(env.Meas, det, serve.Config{
 		QueueSize:     *queue,
-		Workers:       *workers,
+		Workers:       *copts.workers,
 		MaxBatch:      *maxBatch,
 		BatchWait:     *batchWait,
 		Timeout:       *timeout,
 		DecisionEvent: decision,
 		ClassName:     func(c int) string { return data.ClassName(dataset, c) },
+		Logger:        logger,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := http.Handler(srv.Handler())
+	if *pprofOn {
+		// Profiling endpoints are opt-in: the detection service faces query
+		// traffic, and pprof exposes process internals.
+		outer := http.NewServeMux()
+		outer.Handle("/", srv.Handler())
+		outer.HandleFunc("/debug/pprof/", httppprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		handler = outer
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: handler}
 
 	// Graceful drain on SIGTERM/SIGINT: stop accepting, finish queued work,
 	// then close the listener.
@@ -423,12 +530,14 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
 	}()
+	// Print the listener's actual address: with ":0" the kernel picks the
+	// port, and scripted callers (scripts/servesmoke) parse this line.
 	fmt.Fprintf(stdout, "serving %s (%s × %s) on %s — POST /detect, GET /healthz /readyz /metrics\n",
-		env.Scn.ID, env.Scn.Dataset, env.Scn.Arch, *addr)
+		env.Scn.ID, env.Scn.Dataset, env.Scn.Arch, ln.Addr())
 
 	select {
 	case err := <-errc:

@@ -32,6 +32,21 @@ func TestDispatch(t *testing.T) {
 			wantCode: 0, wantStdout: "S3",
 		},
 		{
+			name:     "version prints build metadata",
+			args:     []string{"version"},
+			wantCode: 0, wantStdout: "advhunter ",
+		},
+		{
+			name:     "bad log level is a command failure",
+			args:     []string{"train", "-log-level", "loud", "-cache", ""},
+			wantCode: 1, wantStderr: "unknown log level",
+		},
+		{
+			name:     "bad log format is a command failure",
+			args:     []string{"scan", "-log-format", "xml", "-cache", ""},
+			wantCode: 1, wantStderr: "unknown log format",
+		},
+		{
 			name:     "help goes to stdout",
 			args:     []string{"help"},
 			wantCode: 0, wantStdout: "run 'advhunter <command> -h' for flags.",

@@ -10,6 +10,8 @@
 package core
 
 import (
+	"time"
+
 	"advhunter/internal/data"
 	"advhunter/internal/engine"
 	"advhunter/internal/rng"
@@ -38,6 +40,15 @@ type Measurer struct {
 	// runtime.GOMAXPROCS(0), 1 forces the serial path. Sequential Measure
 	// calls are unaffected.
 	Workers int
+
+	// Observe, when set, receives every completed measurement and its
+	// wall-clock duration (simulated inference plus the R noisy readings).
+	// It is observe-only instrumentation: it must not mutate the measurement
+	// or feed anything back into the pipeline, so results are identical with
+	// or without it. The serve layer points it at its metrics registry
+	// (inference-duration histogram, per-event HPC gauges). Replicas share
+	// the hook (Clone copies it), so it must be safe for concurrent calls.
+	Observe func(d time.Duration, m Measurement)
 
 	// next indexes sequential Measure calls so that a scan sequence is as
 	// deterministic as a batch measurement. Not synchronised: a Measurer's
@@ -69,6 +80,7 @@ func (m *Measurer) Clone() *Measurer {
 		Seed:    m.Seed,
 		R:       m.R,
 		Workers: m.Workers,
+		Observe: m.Observe,
 	}
 }
 
@@ -81,13 +93,21 @@ func (m *Measurer) noiseAt(i uint64) *hpc.Sampler {
 // MeasureAt measures one image under the noise stream of sample index i.
 // TrueLabel is -1: the measurer has no ground truth for an unknown input.
 func (m *Measurer) MeasureAt(i uint64, x *tensor.Tensor) Measurement {
+	var start time.Time
+	if m.Observe != nil {
+		start = time.Now()
+	}
 	pred, conf, truth := m.Engine.InferConf(x)
-	return Measurement{
+	meas := Measurement{
 		Pred:      pred,
 		TrueLabel: -1,
 		Counts:    m.noiseAt(i).MeasureMean(truth, m.R),
 		Conf:      conf,
 	}
+	if m.Observe != nil {
+		m.Observe(time.Since(start), meas)
+	}
+	return meas
 }
 
 // Measure returns the measurement for one image, assigning sample indices

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"advhunter/internal/obs"
 	"advhunter/internal/persist"
 )
 
@@ -26,16 +27,43 @@ const cacheSchema = 3
 // never read once the schema moves on).
 var cacheVersionDir = fmt.Sprintf("v%d", cacheSchema)
 
+// Cache I/O counters live on the process-wide registry so one scrape (or one
+// experiment-run summary) sees cache behaviour regardless of which Env did
+// the work: "hit" is a successful load, "miss" a failed one (absent, corrupt,
+// or wrong schema — the caller regenerates), "write" a regeneration persisted.
+var (
+	cacheOps    = obs.Default.Counter("advhunter_cache_ops_total", "Experiment cache operations by outcome.", "op")
+	cacheHits   = cacheOps.With("hit")
+	cacheMisses = cacheOps.With("miss")
+	cacheWrites = cacheOps.With("write")
+)
+
+// CacheStats reports the process-lifetime cache counters (hits, misses,
+// writes) — the numbers behind `advhunter experiment`'s run summary.
+func CacheStats() (hits, misses, writes uint64) {
+	return cacheHits.Value(), cacheMisses.Value(), cacheWrites.Value()
+}
+
 // saveGob atomically writes v (gob-encoded, schema-tagged) to path, creating
 // directories. The envelope and atomic-write machinery live in
 // internal/persist, shared with detector persistence.
 func saveGob(path string, v any) error {
-	return persist.Save(path, cacheSchema, v)
+	err := persist.Save(path, cacheSchema, v)
+	if err == nil {
+		cacheWrites.Inc()
+	}
+	return err
 }
 
 // loadGob reads a schema-tagged gob file into v. Corrupt files, pre-envelope
 // files, and files written under a different schema all return an error —
 // callers treat any error as a cache miss and regenerate.
 func loadGob(path string, v any) error {
-	return persist.Load(path, cacheSchema, v)
+	err := persist.Load(path, cacheSchema, v)
+	if err == nil {
+		cacheHits.Inc()
+	} else {
+		cacheMisses.Inc()
+	}
+	return err
 }

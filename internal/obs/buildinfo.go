@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo is the process's identity, for the version subcommand, the
+// build-info gauge and the /debug/build endpoint.
+type BuildInfo struct {
+	// Version is the main module's version ("(devel)" for plain go build).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision and Modified come from embedded VCS stamps when present.
+	Revision string `json:"revision,omitempty"`
+	Modified bool   `json:"modified,omitempty"`
+}
+
+// Build reads the binary's build information. It degrades gracefully when
+// debug.ReadBuildInfo is unavailable (e.g. some test binaries).
+func Build() BuildInfo {
+	info := BuildInfo{Version: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// RegisterBuildInfo publishes the advhunter_build_info gauge (constant 1,
+// identity in the labels — the standard Prometheus build-info idiom) on the
+// registry. Idempotent: re-registration resolves the same series.
+func RegisterBuildInfo(r *Registry) {
+	b := Build()
+	r.Gauge("advhunter_build_info",
+		"Build identity; value is constant 1, the identity lives in the labels.",
+		"version", "go_version").With(b.Version, b.GoVersion).Set(1)
+}
+
+// BuildInfoHandler serves the build identity as JSON — the /debug/vars-style
+// endpoint the serve command mounts at /debug/build.
+func BuildInfoHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(Build())
+	})
+}

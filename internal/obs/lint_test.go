@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLintAcceptsValid holds the parser to realistic, fully valid exposition
+// text, including escaped labels, timestamps and special float values.
+func TestLintAcceptsValid(t *testing.T) {
+	valid := strings.Join([]string{
+		"# A free-form comment.",
+		"# HELP http_requests_total Requests by code.",
+		"# TYPE http_requests_total counter",
+		`http_requests_total{code="200"} 1027`,
+		`http_requests_total{code="404",method="post"} 3 1395066363000`,
+		"# HELP weird_gauge A value with escapes: \\\\ and \\n.",
+		"# TYPE weird_gauge gauge",
+		`weird_gauge{path="C:\\DIR\\",quote="say \"hi\""} +Inf`,
+		"# TYPE rpc_duration_seconds histogram",
+		`rpc_duration_seconds_bucket{le="0.05"} 2`,
+		`rpc_duration_seconds_bucket{le="0.5"} 2`,
+		`rpc_duration_seconds_bucket{le="+Inf"} 4`,
+		"rpc_duration_seconds_sum 7.5",
+		"rpc_duration_seconds_count 4",
+		"untyped_metric 12.47",
+		"",
+	}, "\n")
+	if err := Lint([]byte(valid)); err != nil {
+		t.Fatalf("Lint rejected valid exposition: %v", err)
+	}
+}
+
+// TestLintRejectsInvalid drives each validation rule with a minimal violation.
+func TestLintRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string // error substring
+	}{
+		{
+			"bad metric name",
+			"9bad_name 1\n",
+			"invalid metric name",
+		},
+		{
+			"bad label name",
+			"m{9x=\"v\"} 1\n",
+			"invalid label name",
+		},
+		{
+			"unquoted label value",
+			"m{x=v} 1\n",
+			"unquoted value",
+		},
+		{
+			"illegal escape",
+			`m{x="a\t"} 1` + "\n",
+			`illegal escape`,
+		},
+		{
+			"unterminated label value",
+			`m{x="a} 1` + "\n",
+			"unterminated",
+		},
+		{
+			"missing value",
+			"m{x=\"v\"}\n",
+			"missing value",
+		},
+		{
+			"garbage value",
+			"m nope\n",
+			"bad value",
+		},
+		{
+			"duplicate series",
+			"m{a=\"1\",b=\"2\"} 1\nm{b=\"2\",a=\"1\"} 2\n",
+			"duplicate series",
+		},
+		{
+			"duplicate label",
+			"m{a=\"1\",a=\"2\"} 1\n",
+			`duplicate label "a"`,
+		},
+		{
+			"second HELP",
+			"# HELP m one\n# HELP m two\nm 1\n",
+			"second HELP",
+		},
+		{
+			"second TYPE",
+			"# TYPE m counter\n# TYPE m counter\nm 1\n",
+			"second TYPE",
+		},
+		{
+			"unknown type",
+			"# TYPE m widget\nm 1\n",
+			"unknown type",
+		},
+		{
+			"HELP after series",
+			"m 1\n# HELP m too late\n",
+			"after its series",
+		},
+		{
+			"TYPE after series",
+			"m 1\n# TYPE m counter\n",
+			"after its series",
+		},
+		{
+			"family restarts",
+			"a 1\nb 2\na{x=\"1\"} 3\n",
+			"reappears",
+		},
+		{
+			"histogram bare series",
+			"# TYPE h histogram\nh 1\n",
+			"bare series",
+		},
+		{
+			"histogram bucket without le",
+			"# TYPE h histogram\nh_bucket 1\nh_sum 1\nh_count 1\n",
+			"without le",
+		},
+		{
+			"histogram missing +Inf",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"missing +Inf",
+		},
+		{
+			"histogram missing sum/count",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\n",
+			"missing _sum or _count",
+		},
+		{
+			"histogram not cumulative",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n",
+			"not cumulative",
+		},
+		{
+			"histogram +Inf below last bucket",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 9\nh_count 3\n",
+			"below last bucket",
+		},
+		{
+			"histogram +Inf != count",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 9\nh_count 5\n",
+			"!= _count",
+		},
+		{
+			"histogram fractional bucket count",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1.5\nh_sum 9\nh_count 1.5\n",
+			"not a non-negative integer",
+		},
+		{
+			"histogram bad le",
+			"# TYPE h histogram\nh_bucket{le=\"wide\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+			"bad le",
+		},
+		{
+			"bad timestamp",
+			"m 1 not-a-ts\n",
+			"bad timestamp",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Lint([]byte(tc.text))
+			if err == nil {
+				t.Fatalf("Lint accepted invalid input:\n%s", tc.text)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q missing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLintHistogramPerChildChecks: cumulative checks are per label-set, not
+// across children.
+func TestLintHistogramPerChild(t *testing.T) {
+	text := strings.Join([]string{
+		"# TYPE h histogram",
+		`h_bucket{stage="a",le="1"} 5`,
+		`h_bucket{stage="a",le="+Inf"} 5`,
+		`h_sum{stage="a"} 1`,
+		`h_count{stage="a"} 5`,
+		`h_bucket{stage="b",le="1"} 2`,
+		`h_bucket{stage="b",le="+Inf"} 2`,
+		`h_sum{stage="b"} 1`,
+		`h_count{stage="b"} 2`,
+		"",
+	}, "\n")
+	if err := Lint([]byte(text)); err != nil {
+		t.Fatalf("per-child histogram rejected: %v", err)
+	}
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteTo renders every family in Prometheus text exposition format (version
+// 0.0.4): families sorted by name, each with its # HELP and # TYPE lines
+// followed by its series sorted by label values; histograms render cumulative
+// buckets with a trailing +Inf plus _sum and _count. The output passes Lint
+// by construction.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw}
+
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.RUnlock()
+
+	for _, f := range fams {
+		f.write(cw)
+		if cw.err != nil {
+			return cw.n, cw.err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// write renders one family.
+func (f *family) write(w io.Writer) {
+	f.mu.RLock()
+	sampled := f.sampled
+	kids := make([]*child, 0, len(f.children))
+	for _, c := range f.children {
+		kids = append(kids, c)
+	}
+	f.mu.RUnlock()
+	sort.Slice(kids, func(i, j int) bool {
+		return strings.Join(kids[i].labelValues, "\xff") < strings.Join(kids[j].labelValues, "\xff")
+	})
+
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+	if sampled != nil {
+		fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(sampled()))
+		return
+	}
+	for _, c := range kids {
+		switch f.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, c.labelValues, "", ""), c.count.v.Load())
+		case kindGauge:
+			fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labels, c.labelValues, "", ""), formatFloat(c.gauge.load()))
+		case kindHistogram:
+			cum := uint64(0)
+			for i, ub := range f.buckets {
+				cum += c.bins[i].v.Load()
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+					labelString(f.labels, c.labelValues, "le", formatFloat(ub)), cum)
+			}
+			// The +Inf bucket equals the total count by definition; using the
+			// count cell (not cum) keeps the line consistent with _count even
+			// if observations land between the two loads.
+			count := c.count.v.Load()
+			if count < cum {
+				count = cum
+			}
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+				labelString(f.labels, c.labelValues, "le", "+Inf"), count)
+			fmt.Fprintf(w, "%s_sum%s %s\n", f.name,
+				labelString(f.labels, c.labelValues, "", ""), formatFloat(c.sum.load()))
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name,
+				labelString(f.labels, c.labelValues, "", ""), count)
+		}
+	}
+}
+
+// labelString renders a {name="value",...} block, appending one extra pair
+// (the histogram's le) when extraName is non-empty. An empty set renders as
+// the empty string, not "{}".
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a float the way the exposition format expects;
+// strconv already spells the specials as +Inf/-Inf/NaN.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// escapeHelp escapes a HELP string (backslash and newline).
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeLabelValue escapes a label value (backslash, double quote, newline).
+func escapeLabelValue(s string) string { return labelEscaper.Replace(s) }
+
+// countingWriter tracks bytes written and the first error.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"time"
+)
+
+// Tracer turns named pipeline stages into observations: every finished span
+// lands in a per-stage duration histogram on the tracer's registry
+// (advhunter_stage_duration_seconds{stage=...}) and, when a logger is
+// attached, in a debug log record carrying the stage, the duration and the
+// context's request_id. Tracing is observe-only by contract: a span never
+// alters the traced computation, so verdicts and response bytes are
+// identical with tracing on or off (internal/serve holds that line with a
+// regression test).
+type Tracer struct {
+	stages *HistogramVec
+	logger *slog.Logger
+}
+
+// NewTracer builds a tracer recording onto reg. logger may be nil (metrics
+// only).
+func NewTracer(reg *Registry, logger *slog.Logger) *Tracer {
+	return &Tracer{
+		stages: reg.Histogram("advhunter_stage_duration_seconds",
+			"Detection-pipeline stage durations.", DurationBuckets, "stage"),
+		logger: logger,
+	}
+}
+
+// WithTracer returns a context carrying the tracer, for call sites that
+// only see a context (the package-level StartSpan).
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom extracts the context's tracer, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// StartSpan opens a span on the context's tracer. With no tracer in ctx it
+// returns a no-op span, so library code can instrument unconditionally.
+func StartSpan(ctx context.Context, stage string) (context.Context, *Span) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	return t.StartSpan(ctx, stage)
+}
+
+// StartSpan opens a span for one pipeline stage; close it with End.
+func (t *Tracer) StartSpan(ctx context.Context, stage string) (context.Context, *Span) {
+	return ctx, &Span{t: t, ctx: ctx, stage: stage, start: time.Now()}
+}
+
+// Span is one in-flight stage timing. A nil *Span is a valid no-op, so
+// callers never nil-check the StartSpan result.
+type Span struct {
+	t     *Tracer
+	ctx   context.Context
+	stage string
+	start time.Time
+}
+
+// End closes the span: the duration is recorded into the stage histogram
+// and, if the tracer logs, emitted as a debug record.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.t.stages.With(s.stage).Observe(d.Seconds())
+	if s.t.logger != nil {
+		s.t.logger.DebugContext(s.ctx, "span",
+			slog.String("stage", s.stage),
+			slog.Duration("duration", d))
+	}
+}

@@ -1,11 +1,12 @@
 package serve
 
 import (
-	"fmt"
-	"io"
-	"sort"
-	"sync"
+	"strconv"
 	"time"
+
+	"advhunter/internal/core"
+	"advhunter/internal/obs"
+	"advhunter/internal/uarch/hpc"
 )
 
 // latencyBuckets are the request-latency histogram bounds in seconds,
@@ -16,147 +17,117 @@ var latencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.2
 // batchBuckets are the micro-batch-size histogram bounds.
 var batchBuckets = []float64{1, 2, 4, 8, 16, 32}
 
-// metrics is the server's instrumentation, exposed at /metrics in
-// Prometheus text exposition format. A mutex (not per-counter atomics)
-// keeps the scrape a consistent snapshot; the hot path takes it twice per
-// request for nanoseconds each.
+// metrics is the server's instrumentation, one obs.Registry per server so
+// tests and co-resident instances never share series. Every handle the
+// request path touches is resolved once here; recording is atomic adds only
+// — the hot path takes no mutex at all (the previous bespoke struct locked
+// one mutex twice per request). Series names and labels are unchanged from
+// the pre-registry implementation, so dashboards and scrapers keep working.
 type metrics struct {
-	mu sync.Mutex
+	reg *obs.Registry
 
-	// backend labels every detection-side series with the served detector's
-	// kind, so dashboards can tell a gmm guard from a fusion guard.
-	backend string
+	// HTTP layer.
+	requests   *obs.CounterVec // by status code; ok pre-resolves the 200 path
+	ok         *obs.Counter
+	reqSeconds *obs.Histogram
+	batchSizes *obs.Histogram
 
-	requests map[int]uint64 // by HTTP status code
+	// Detection layer, labelled by the served backend kind.
+	scans   *obs.Counter
+	flagged *obs.Counter
+	flags   []*obs.Counter // aligned with Server.channels
 
-	latencyCount uint64
-	latencySum   float64
-	latencyBins  []uint64 // cumulative at scrape time; stored per-bucket here
+	// Worker-pool layer (the parallel fan-out inside process()).
+	poolBusy    *obs.Gauge
+	poolQueue   *obs.Gauge
+	poolTasks   *obs.Counter
+	poolSeconds *obs.Histogram
 
-	batchCount uint64
-	batchSum   float64
-	batchBins  []uint64
-
-	scans   uint64 // detection decisions made
-	flagged uint64 // decisions answered adversarial
-	flags   map[string]uint64
+	// Engine layer: the simulated measurement itself.
+	inferSeconds *obs.Histogram
+	hpcEvents    []*obs.Gauge // last mean reading per event, indexed by hpc.Event
 }
 
-func newMetrics(backend string) *metrics {
-	return &metrics{
-		backend:     backend,
-		requests:    make(map[int]uint64),
-		latencyBins: make([]uint64, len(latencyBuckets)),
-		batchBins:   make([]uint64, len(batchBuckets)),
-		flags:       make(map[string]uint64),
+func newMetrics(backend string, channels []string) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{reg: reg}
+
+	m.requests = reg.Counter("advhunter_requests_total", "HTTP requests by status code.", "code")
+	m.ok = m.requests.With("200")
+	m.reqSeconds = reg.Histogram("advhunter_request_duration_seconds",
+		"End-to-end request latency.", latencyBuckets).With()
+	m.batchSizes = reg.Histogram("advhunter_batch_size",
+		"Micro-batch sizes dispatched to the worker pool.", batchBuckets).With()
+
+	m.scans = reg.Counter("advhunter_scans_total", "Detection decisions made.", "backend").With(backend)
+	m.flagged = reg.Counter("advhunter_flagged_total", "Decisions answered adversarial.", "backend").With(backend)
+	flagVec := reg.Counter("advhunter_flags_total", "Per-channel threshold exceedances.", "backend", "channel")
+	m.flags = make([]*obs.Counter, len(channels))
+	for i, ch := range channels {
+		m.flags[i] = flagVec.With(backend, ch)
 	}
+
+	m.poolBusy = reg.Gauge("advhunter_pool_busy_workers",
+		"Engine replicas currently running a measurement.").With()
+	m.poolQueue = reg.Gauge("advhunter_pool_queue_depth",
+		"Batch items admitted to the replica pool and not yet picked up.").With()
+	m.poolTasks = reg.Counter("advhunter_pool_tasks_total",
+		"Measurement tasks completed by the replica pool.").With()
+	m.poolSeconds = reg.Histogram("advhunter_pool_task_duration_seconds",
+		"Per-task time on a pool worker (measure + score).", obs.DurationBuckets).With()
+
+	m.inferSeconds = reg.Histogram("advhunter_inference_duration_seconds",
+		"Simulated-inference measurement duration (engine trace + R noisy readings).",
+		obs.DurationBuckets).With()
+	eventVec := reg.Gauge("advhunter_hpc_event_count",
+		"Most recent per-event mean HPC reading across the replica pool.", "event")
+	m.hpcEvents = make([]*obs.Gauge, hpc.NumEvents)
+	for e := hpc.Event(0); e < hpc.NumEvents; e++ {
+		m.hpcEvents[e] = eventVec.With(e.String())
+	}
+	return m
 }
 
-// observeRequest records one finished HTTP request.
+// observeRequest records one finished HTTP request. The 200 path is a
+// pre-resolved handle; other codes pay one read-locked map lookup.
 func (m *metrics) observeRequest(status int, d time.Duration) {
-	sec := d.Seconds()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.requests[status]++
-	m.latencyCount++
-	m.latencySum += sec
-	for i, ub := range latencyBuckets {
-		if sec <= ub {
-			m.latencyBins[i]++
-			break
-		}
+	if status == 200 {
+		m.ok.Inc()
+	} else {
+		m.requests.With(strconv.Itoa(status)).Inc()
 	}
+	m.reqSeconds.Observe(d.Seconds())
 }
 
-// observeBatch records one processed micro-batch.
-func (m *metrics) observeBatch(size int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.batchCount++
-	m.batchSum += float64(size)
-	for i, ub := range batchBuckets {
-		if float64(size) <= ub {
-			m.batchBins[i]++
-			break
-		}
-	}
-}
-
-// observeDecision records one detection decision and its per-channel flags.
-func (m *metrics) observeDecision(channels []string, flags []bool, adversarial bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.scans++
+// observeDecision records one detection decision and its per-channel flags —
+// together with the caller's observeRequest, a handful of atomic adds where
+// the bespoke struct serialised every request on a mutex twice.
+func (m *metrics) observeDecision(flags []bool, adversarial bool) {
+	m.scans.Inc()
 	if adversarial {
-		m.flagged++
+		m.flagged.Inc()
 	}
 	for i, f := range flags {
 		if f {
-			m.flags[channels[i]]++
+			m.flags[i].Inc()
 		}
 	}
 }
 
-// writeHistogram renders one Prometheus histogram (cumulative buckets).
-func writeHistogram(w io.Writer, name string, buckets []float64, bins []uint64, count uint64, sum float64) {
-	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
-	cum := uint64(0)
-	for i, ub := range buckets {
-		cum += bins[i]
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", ub), cum)
+// observeMeasurement is the core.Measurer.Observe hook shared by every pool
+// replica: the engine-layer series on the serve registry.
+func (m *metrics) observeMeasurement(d time.Duration, meas core.Measurement) {
+	m.inferSeconds.Observe(d.Seconds())
+	for e := hpc.Event(0); e < hpc.NumEvents; e++ {
+		m.hpcEvents[e].Set(meas.Counts.Get(e))
 	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, count)
-	fmt.Fprintf(w, "%s_sum %g\n", name, sum)
-	fmt.Fprintf(w, "%s_count %d\n", name, count)
 }
 
-// render writes the full exposition. queueDepth and queueCap are sampled by
-// the caller (they are properties of the server, not of this struct).
-func (m *metrics) render(w io.Writer, queueDepth, queueCap int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-
-	fmt.Fprintln(w, "# HELP advhunter_requests_total HTTP requests by status code.")
-	fmt.Fprintln(w, "# TYPE advhunter_requests_total counter")
-	codes := make([]int, 0, len(m.requests))
-	for c := range m.requests {
-		codes = append(codes, c)
-	}
-	sort.Ints(codes)
-	for _, c := range codes {
-		fmt.Fprintf(w, "advhunter_requests_total{code=\"%d\"} %d\n", c, m.requests[c])
-	}
-
-	fmt.Fprintln(w, "# HELP advhunter_scans_total Detection decisions made.")
-	fmt.Fprintln(w, "# TYPE advhunter_scans_total counter")
-	fmt.Fprintf(w, "advhunter_scans_total{backend=%q} %d\n", m.backend, m.scans)
-
-	fmt.Fprintln(w, "# HELP advhunter_flagged_total Decisions answered adversarial.")
-	fmt.Fprintln(w, "# TYPE advhunter_flagged_total counter")
-	fmt.Fprintf(w, "advhunter_flagged_total{backend=%q} %d\n", m.backend, m.flagged)
-
-	fmt.Fprintln(w, "# HELP advhunter_flags_total Per-channel threshold exceedances.")
-	fmt.Fprintln(w, "# TYPE advhunter_flags_total counter")
-	chs := make([]string, 0, len(m.flags))
-	for ch := range m.flags {
-		chs = append(chs, ch)
-	}
-	sort.Strings(chs)
-	for _, ch := range chs {
-		fmt.Fprintf(w, "advhunter_flags_total{backend=%q,channel=%q} %d\n", m.backend, ch, m.flags[ch])
-	}
-
-	fmt.Fprintln(w, "# HELP advhunter_request_duration_seconds End-to-end request latency.")
-	writeHistogram(w, "advhunter_request_duration_seconds", latencyBuckets, m.latencyBins, m.latencyCount, m.latencySum)
-
-	fmt.Fprintln(w, "# HELP advhunter_batch_size Micro-batch sizes dispatched to the worker pool.")
-	writeHistogram(w, "advhunter_batch_size", batchBuckets, m.batchBins, m.batchCount, m.batchSum)
-
-	fmt.Fprintln(w, "# HELP advhunter_queue_depth Requests waiting in the admission queue.")
-	fmt.Fprintln(w, "# TYPE advhunter_queue_depth gauge")
-	fmt.Fprintf(w, "advhunter_queue_depth %d\n", queueDepth)
-
-	fmt.Fprintln(w, "# HELP advhunter_queue_capacity Admission queue capacity.")
-	fmt.Fprintln(w, "# TYPE advhunter_queue_capacity gauge")
-	fmt.Fprintf(w, "advhunter_queue_capacity %d\n", queueCap)
+// registerQueueGauges publishes the admission-queue gauges, sampled at
+// scrape time from the live channel.
+func (m *metrics) registerQueueGauges(queue chan *job) {
+	m.reg.GaugeFunc("advhunter_queue_depth",
+		"Requests waiting in the admission queue.", func() float64 { return float64(len(queue)) })
+	m.reg.GaugeFunc("advhunter_queue_capacity",
+		"Admission queue capacity.", func() float64 { return float64(cap(queue)) })
 }

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"advhunter/internal/obs"
+)
+
+// lockedBuffer serialises log writes from handler and worker goroutines so
+// the test can read complete JSON lines.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+func scrape(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	return body
+}
+
+// TestMetricsExposition drives real traffic through the server and then holds
+// the full /metrics output to the strict exposition-format linter, checking
+// that one scrape carries series from every instrumented layer: HTTP,
+// admission queue, worker pool, engine measurement, and pipeline stages.
+func TestMetricsExposition(t *testing.T) {
+	f := getFixture(t)
+	_, ts := newServer(t, f, Config{Workers: 2})
+
+	for i := 0; i < 5; i++ {
+		resp, body := post(t, ts.URL, NewRequest(f.clean[i].X, uint64(i)))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	// One malformed request so a non-200 code series exists too.
+	resp, err := http.Post(ts.URL+"/detect", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	body := scrape(t, ts.URL)
+	if err := obs.Lint(body); err != nil {
+		t.Fatalf("/metrics failed the exposition linter: %v\n%s", err, body)
+	}
+
+	text := string(body)
+	perLayer := map[string][]string{
+		"http": {
+			`advhunter_requests_total{code="200"} 5`,
+			`advhunter_requests_total{code="400"} 1`,
+			"advhunter_request_duration_seconds_bucket",
+			"advhunter_batch_size_count",
+		},
+		"queue": {
+			"advhunter_queue_capacity 64",
+			"advhunter_queue_depth 0",
+		},
+		"pool": {
+			"advhunter_pool_workers 2",
+			"advhunter_pool_tasks_total 5",
+			"advhunter_pool_task_duration_seconds_count 5",
+			"advhunter_pool_busy_workers 0",
+			"advhunter_pool_queue_depth 0",
+		},
+		"engine": {
+			"advhunter_inference_duration_seconds_count 5",
+			`advhunter_hpc_event_count{event="cache-misses"}`,
+		},
+		"stages": {
+			`advhunter_stage_duration_seconds_bucket{stage="decode"`,
+			`advhunter_stage_duration_seconds_bucket{stage="queue"`,
+			`advhunter_stage_duration_seconds_bucket{stage="measure"`,
+			`advhunter_stage_duration_seconds_bucket{stage="score"`,
+			`advhunter_stage_duration_seconds_bucket{stage="verdict"`,
+		},
+		"detection": {
+			`advhunter_scans_total{backend="gmm"} 5`,
+		},
+	}
+	for layer, wants := range perLayer {
+		for _, want := range wants {
+			if !strings.Contains(text, want) {
+				t.Errorf("layer %s: /metrics missing %q", layer, want)
+			}
+		}
+	}
+	if t.Failed() {
+		t.Logf("full scrape:\n%s", text)
+	}
+}
+
+// TestObsIsObserveOnly is the determinism guard for the observability layer:
+// a server with debug-level JSON logging (which also emits every span record)
+// must return byte-identical /detect responses to a server with logging off.
+// Instrumentation observes the pipeline; it never steers it.
+func TestObsIsObserveOnly(t *testing.T) {
+	f := getFixture(t)
+	var logs lockedBuffer
+	verbose, err := obs.NewLogger(&logs, slog.LevelDebug, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, quietTS := newServer(t, f, Config{Workers: 2})
+	_, loudTS := newServer(t, f, Config{Workers: 2, Logger: verbose})
+
+	queries := make([]Request, 0, 8)
+	for i := 0; i < 4; i++ {
+		queries = append(queries, NewRequest(f.clean[i].X, uint64(i)))
+		queries = append(queries, NewRequest(f.adv[i].X, uint64(500+i)))
+	}
+	for qi, q := range queries {
+		resp1, body1 := post(t, quietTS.URL, q)
+		resp2, body2 := post(t, loudTS.URL, q)
+		if resp1.StatusCode != http.StatusOK || resp2.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: statuses %d/%d", qi, resp1.StatusCode, resp2.StatusCode)
+		}
+		if !bytes.Equal(body1, body2) {
+			t.Fatalf("query %d: responses diverged with logging enabled:\nquiet: %s\nloud:  %s",
+				qi, body1, body2)
+		}
+	}
+
+	// The loud server's log is a stream of JSON records, every one carrying
+	// the propagated request_id, including span records emitted from worker
+	// goroutines.
+	var requests, spans int
+	stages := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(logs.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line is not JSON: %q (%v)", line, err)
+		}
+		id, _ := rec["request_id"].(string)
+		if !strings.HasPrefix(id, "r") {
+			t.Fatalf("log line missing request_id: %q", line)
+		}
+		switch rec["msg"] {
+		case "request":
+			requests++
+			if rec["status"] != float64(200) {
+				t.Fatalf("unexpected request status in %q", line)
+			}
+		case "span":
+			spans++
+			if stage, _ := rec["stage"].(string); stage != "" {
+				stages[stage] = true
+			}
+		}
+	}
+	if requests != len(queries) {
+		t.Fatalf("logged %d request records, want %d", requests, len(queries))
+	}
+	for _, stage := range []string{"decode", "queue", "measure", "score", "verdict"} {
+		if !stages[stage] {
+			t.Fatalf("no span record for stage %q (saw %v, %d spans)", stage, stages, spans)
+		}
+	}
+}
+
+// TestDebugBuildEndpoint: /debug/build answers JSON build metadata.
+func TestDebugBuildEndpoint(t *testing.T) {
+	f := getFixture(t)
+	_, ts := newServer(t, f, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/debug/build")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var info obs.BuildInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatalf("body %q: %v", body, err)
+	}
+	if info.GoVersion == "" {
+		t.Fatalf("build info missing go version: %s", body)
+	}
+}

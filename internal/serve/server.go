@@ -18,13 +18,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"advhunter/internal/core"
 	"advhunter/internal/detect"
+	"advhunter/internal/obs"
 	"advhunter/internal/parallel"
 	"advhunter/internal/tensor"
 	"advhunter/internal/uarch/hpc"
@@ -53,6 +56,11 @@ type Config struct {
 	ClassName func(int) string
 	// RetryAfter is the Retry-After hint on 429s, in seconds (default 1).
 	RetryAfter int
+	// Logger receives the server's structured records (per-request debug
+	// lines, span timings). nil selects slog.Default(). Logging and tracing
+	// are observe-only: enabling them never changes a verdict or a response
+	// byte (TestObsIsObserveOnly holds that line).
+	Logger *slog.Logger
 
 	// gate, when non-nil, blocks batch processing until it is closed — a
 	// test-only hook for filling the queue deterministically. It must be
@@ -87,10 +95,11 @@ func (c Config) withDefaults() Config {
 
 // job is one admitted request travelling queue → batch → worker.
 type job struct {
-	idx uint64
-	x   *tensor.Tensor
-	ctx context.Context
-	out chan detect.Verdict // buffered(1); worker send never blocks
+	idx   uint64
+	x     *tensor.Tensor
+	ctx   context.Context
+	out   chan detect.Verdict // buffered(1); worker send never blocks
+	qspan *obs.Span           // admission-to-pickup queue span; nil-safe
 }
 
 // Server is the online detection service. Build with New, expose with
@@ -105,14 +114,18 @@ type Server struct {
 
 	queue chan *job
 	next  atomic.Uint64 // server-assigned indices for index-less requests
+	rids  atomic.Uint64 // request ids for log correlation (distinct from idx)
 
 	draining  atomic.Bool
 	enqueuers sync.WaitGroup // handlers between admission check and enqueue
 	done      chan struct{}  // closed when the dispatcher exits
 
-	stats *metrics
-	mux   *http.ServeMux
-	gate  chan struct{} // from Config.gate; see there
+	stats     *metrics
+	logger    *slog.Logger
+	tracer    *obs.Tracer
+	poolHooks parallel.Hooks
+	mux       *http.ServeMux
+	gate      chan struct{} // from Config.gate; see there
 }
 
 // New builds and starts the service around a measurer (whose engine defines
@@ -138,9 +151,28 @@ func New(m *core.Measurer, det detect.Detector, cfg Config) *Server {
 		decIdx:   decIdx,
 		queue:    make(chan *job, cfg.QueueSize),
 		done:     make(chan struct{}),
-		stats:    newMetrics(det.Kind()),
+		stats:    newMetrics(det.Kind(), channels),
+		logger:   cfg.Logger,
 		gate:     cfg.gate,
 	}
+	if s.logger == nil {
+		s.logger = slog.Default()
+	}
+	s.tracer = obs.NewTracer(s.stats.reg, s.logger)
+	s.stats.registerQueueGauges(s.queue)
+	s.stats.reg.Gauge("advhunter_pool_workers", "Engine replica pool size.").With().Set(float64(cfg.Workers))
+	s.poolHooks = parallel.Hooks{
+		Queued: func(delta int) { s.stats.poolQueue.Add(float64(delta)) },
+		Start:  func(int) { s.stats.poolBusy.Inc() },
+		Done: func(_ int, d time.Duration) {
+			s.stats.poolBusy.Dec()
+			s.stats.poolTasks.Inc()
+			s.stats.poolSeconds.Observe(d.Seconds())
+		},
+	}
+	// The engine-layer hook is observe-only and shared by every replica, so
+	// install it before cloning (Clone copies it).
+	m.Observe = s.stats.observeMeasurement
 	s.workers[0] = m
 	for w := 1; w < cfg.Workers; w++ {
 		s.workers[w] = m.Clone()
@@ -149,7 +181,10 @@ func New(m *core.Measurer, det detect.Detector, cfg Config) *Server {
 	s.mux.HandleFunc("/detect", s.handleDetect)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	// /metrics chains the server's private registry with the process-wide one
+	// (cache-op counters, build info), so one scrape sees every layer.
+	s.mux.Handle("/metrics", obs.Handler(s.stats.reg, obs.Default))
+	s.mux.Handle("/debug/build", obs.BuildInfoHandler())
 	go s.dispatch()
 	return s
 }
@@ -219,6 +254,7 @@ func (s *Server) process(batch []*job) {
 	}
 	live := batch[:0]
 	for _, j := range batch {
+		j.qspan.End() // queue wait is over, whether the job survived it or not
 		if j.ctx.Err() == nil {
 			live = append(live, j)
 		}
@@ -226,9 +262,15 @@ func (s *Server) process(batch []*job) {
 	if len(live) == 0 {
 		return
 	}
-	s.stats.observeBatch(len(live))
-	parallel.MapWorkers(len(s.workers), live, func(worker, _ int, j *job) struct{} {
-		j.out <- s.det.Detect(s.workers[worker].MeasureAt(j.idx, j.x))
+	s.stats.batchSizes.Observe(float64(len(live)))
+	parallel.MapWorkersHooked(len(s.workers), live, s.poolHooks, func(worker, _ int, j *job) struct{} {
+		ctx, sp := obs.StartSpan(j.ctx, "measure")
+		meas := s.workers[worker].MeasureAt(j.idx, j.x)
+		sp.End()
+		_, sp = obs.StartSpan(ctx, "score")
+		v := s.det.Detect(meas)
+		sp.End()
+		j.out <- v
 		return struct{}{}
 	})
 }
@@ -246,8 +288,15 @@ func (s *Server) adversarial(v detect.Verdict) bool {
 // handleDetect is POST /detect: decode, validate, admit, await the verdict.
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	rctx := obs.WithRequestID(obs.WithTracer(r.Context(), s.tracer),
+		"r"+strconv.FormatUint(s.rids.Add(1), 10))
 	status := func(code int) {
-		s.stats.observeRequest(code, time.Since(start))
+		d := time.Since(start)
+		s.stats.observeRequest(code, d)
+		s.logger.DebugContext(rctx, "request",
+			slog.String("path", "/detect"),
+			slog.Int("status", code),
+			slog.Duration("duration", d))
 	}
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -261,7 +310,9 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		status(http.StatusBadRequest)
 		return
 	}
+	_, sp := obs.StartSpan(rctx, "decode")
 	req, err := DecodeRequest(body, s.shape)
+	sp.End()
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		status(http.StatusBadRequest)
@@ -272,9 +323,10 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	if req.Index != nil {
 		idx = *req.Index
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	ctx, cancel := context.WithTimeout(rctx, s.cfg.Timeout)
 	defer cancel()
-	j := &job{idx: idx, x: req.Tensor(), ctx: ctx, out: make(chan detect.Verdict, 1)}
+	_, qspan := obs.StartSpan(rctx, "queue")
+	j := &job{idx: idx, x: req.Tensor(), ctx: ctx, out: make(chan detect.Verdict, 1), qspan: qspan}
 
 	// Admission. The WaitGroup brackets the draining check and the enqueue
 	// so Shutdown can close the queue only after every in-flight handler
@@ -299,8 +351,16 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 
 	select {
 	case v := <-j.out:
+		_, sp := obs.StartSpan(rctx, "verdict")
 		resp := s.response(idx, v)
-		s.stats.observeDecision(s.channels, v.Flags, resp.Adversarial)
+		s.stats.observeDecision(v.Flags, resp.Adversarial)
+		sp.End()
+		if resp.Adversarial {
+			s.logger.DebugContext(rctx, "adversarial query flagged",
+				slog.Uint64("index", idx),
+				slog.String("backend", resp.Backend),
+				slog.Int("predicted_class", resp.PredictedClass))
+		}
 		s.writeJSON(w, http.StatusOK, resp)
 		status(http.StatusOK)
 	case <-ctx.Done():
@@ -343,11 +403,6 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.WriteHeader(http.StatusOK)
 	io.WriteString(w, "ready\n")
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.stats.render(w, len(s.queue), cap(s.queue))
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {

@@ -1,0 +1,166 @@
+// Command servesmoke is the verify-script smoke test for the serving path:
+// it launches a built advhunter binary as a real child process, waits for the
+// listener announcement, scrapes /metrics (holding the output to the strict
+// exposition linter and to a multi-layer series checklist), pulls a pprof
+// heap profile, and then checks the SIGTERM drain path exits cleanly.
+//
+// It runs against scenario S1, whose model and validation measurements are
+// committed under artifacts/cache, so startup is seconds, not minutes.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"advhunter/internal/obs"
+)
+
+func main() {
+	bin := flag.String("bin", "", "path to the built advhunter binary")
+	scenario := flag.String("scenario", "S1", "scenario to serve")
+	flag.Parse()
+	if err := run(*bin, *scenario); err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("servesmoke: OK")
+}
+
+func run(bin, scenario string) error {
+	if bin == "" {
+		return fmt.Errorf("missing -bin (path to the advhunter binary)")
+	}
+	cmd := exec.Command(bin, "serve",
+		"-scenario", scenario,
+		"-addr", "127.0.0.1:0", // kernel-assigned port, parsed from the announcement
+		"-workers", "2",
+		"-pprof",
+		"-log-format", "json", "-log-level", "info",
+		"-v")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("starting %s: %w", bin, err)
+	}
+	defer cmd.Process.Kill() // no-op if the process already exited
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Println(line)
+			if addr, ok := parseAddr(line); ok {
+				select {
+				case addrCh <- addr:
+				default:
+				}
+			}
+		}
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(2 * time.Minute):
+		return fmt.Errorf("server did not announce its address within 2m")
+	}
+	base := "http://" + addr
+
+	metrics, err := get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	if len(metrics) == 0 {
+		return fmt.Errorf("/metrics returned an empty body")
+	}
+	if err := obs.Lint(metrics); err != nil {
+		return fmt.Errorf("/metrics failed the exposition linter: %w\n%s", err, metrics)
+	}
+	// One scrape must carry series from every layer: build metadata, the
+	// admission queue, the replica pool, and the experiment cache the server
+	// loaded its model through.
+	for _, want := range []string{
+		"advhunter_build_info",
+		"advhunter_queue_capacity",
+		"advhunter_pool_workers 2",
+		`advhunter_cache_ops_total{op="hit"}`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			return fmt.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	heap, err := get(base + "/debug/pprof/heap?debug=1")
+	if err != nil {
+		return err
+	}
+	if len(heap) == 0 {
+		return fmt.Errorf("/debug/pprof/heap returned an empty body")
+	}
+
+	build, err := get(base + "/debug/build")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(build), "go_version") {
+		return fmt.Errorf("/debug/build body %q missing go_version", build)
+	}
+
+	// Graceful drain: SIGTERM must produce a clean exit.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("serve exited uncleanly after SIGTERM: %w", err)
+		}
+	case <-time.After(time.Minute):
+		return fmt.Errorf("serve did not exit within 1m of SIGTERM")
+	}
+	return nil
+}
+
+// parseAddr extracts the listen address from the serve announcement line,
+// e.g. "serving S1 (…) on 127.0.0.1:43215 — POST /detect, …".
+func parseAddr(line string) (string, bool) {
+	if !strings.HasPrefix(line, "serving ") {
+		return "", false
+	}
+	_, rest, ok := strings.Cut(line, " on ")
+	if !ok {
+		return "", false
+	}
+	addr, _, ok := strings.Cut(rest, " — ")
+	return addr, ok
+}
+
+func get(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return body, nil
+}

@@ -29,7 +29,13 @@ go vet ./examples/...
 echo "== test =="
 go test ./...
 
-echo "== race (parallel pipeline + detection + serving) =="
-go test -race ./internal/parallel ./internal/core ./internal/engine ./internal/detect ./internal/serve
+echo "== race (parallel pipeline + detection + serving + observability) =="
+go test -race ./internal/parallel ./internal/core ./internal/engine ./internal/detect ./internal/serve ./internal/obs
+
+echo "== serve smoke (/metrics + pprof + graceful drain) =="
+smoketmp="$(mktemp -d)"
+trap 'rm -rf "$smoketmp"' EXIT
+go build -o "$smoketmp/advhunter" ./cmd/advhunter
+go run ./scripts/servesmoke -bin "$smoketmp/advhunter"
 
 echo "verify: OK"
