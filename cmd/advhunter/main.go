@@ -472,6 +472,7 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	batchWait := fs.Duration("batch-wait", 2*time.Millisecond, "micro-batcher linger after the first queued request")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request budget including queueing")
 	event := fs.String("event", hpc.CacheMisses.String(), "perf event driving the adversarial verdict")
+	truthCache := fs.Int("truth-cache", 512, "truth-count memoisation cache entries (0 disables)")
 	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof profiling endpoints")
 	copts := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -494,16 +495,23 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	// The flag's 0 means "off"; the Config's 0 means "default" and negative
+	// means "off" (so the zero Config still serves with memoisation on).
+	truthSize := *truthCache
+	if truthSize <= 0 {
+		truthSize = -1
+	}
 	dataset := env.Scn.Dataset
 	srv := serve.New(env.Meas, det, serve.Config{
-		QueueSize:     *queue,
-		Workers:       *copts.workers,
-		MaxBatch:      *maxBatch,
-		BatchWait:     *batchWait,
-		Timeout:       *timeout,
-		DecisionEvent: decision,
-		ClassName:     func(c int) string { return data.ClassName(dataset, c) },
-		Logger:        logger,
+		QueueSize:      *queue,
+		Workers:        *copts.workers,
+		MaxBatch:       *maxBatch,
+		BatchWait:      *batchWait,
+		Timeout:        *timeout,
+		DecisionEvent:  decision,
+		ClassName:      func(c int) string { return data.ClassName(dataset, c) },
+		Logger:         logger,
+		TruthCacheSize: truthSize,
 	})
 	handler := http.Handler(srv.Handler())
 	if *pprofOn {

@@ -54,6 +54,12 @@ type Measurer struct {
 	// deterministic as a batch measurement. Not synchronised: a Measurer's
 	// sequential API is single-goroutine, like the engine it owns.
 	next uint64
+
+	// scratch is the reusable noise rng+sampler, so steady-state measurement
+	// does not allocate per sample. Like the engine, a Measurer's measuring
+	// methods are single-goroutine; replicas own their scratch, and MeasureSet
+	// gives each worker a private one.
+	scratch noiseScratch
 }
 
 // NewMeasurer builds a measurer with the paper's defaults (R=10, default
@@ -84,10 +90,32 @@ func (m *Measurer) Clone() *Measurer {
 	}
 }
 
-// noiseAt builds the sampler for sample index i: a pure function of
-// (m.Noise, m.Seed, i).
+// noiseScratch is a reusable noise rng+sampler pair. It is deliberately a
+// standalone type: a Measurer embeds one for its single-goroutine measuring
+// methods, and MeasureSet allocates one per worker so concurrent workers
+// never share mutable sampler state.
+type noiseScratch struct {
+	rand    rng.Rand
+	sampler *hpc.Sampler
+}
+
+// at rewinds the scratch sampler to sample index i's noise stream: a pure
+// function of (model, seed, i). The reseed sequence replicates
+// rng.New(seed).Split(i) in place — Split draws one word from the parent
+// stream and xors it with the label spread across the golden-ratio constant —
+// so the stream is identical to the allocating construction.
+func (ns *noiseScratch) at(model hpc.NoiseModel, seed, i uint64) *hpc.Sampler {
+	ns.rand.Reseed(seed)
+	ns.rand.Reseed(ns.rand.Uint64() ^ (i * 0x9e3779b97f4a7c15))
+	if ns.sampler == nil {
+		ns.sampler = hpc.NewSamplerFrom(model, &ns.rand)
+	}
+	ns.sampler.Model = model
+	return ns.sampler
+}
+
 func (m *Measurer) noiseAt(i uint64) *hpc.Sampler {
-	return hpc.NewSamplerFrom(m.Noise, rng.New(m.Seed).Split(i))
+	return m.scratch.at(m.Noise, m.Seed, i)
 }
 
 // MeasureAt measures one image under the noise stream of sample index i.

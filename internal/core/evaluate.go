@@ -35,9 +35,12 @@ func MeasureSet(m *Measurer, samples []data.Sample) []Measurement {
 	for w := 1; w < workers; w++ {
 		engines[w] = m.Engine.Clone()
 	}
+	// Per-worker noise scratch: the sampler state is mutable, so workers
+	// must not share the measurer's own.
+	scratches := make([]noiseScratch, workers)
 	return parallel.MapWorkers(workers, samples, func(worker, i int, s data.Sample) Measurement {
 		pred, conf, truth := engines[worker].InferConf(s.X)
-		counts := m.noiseAt(uint64(i)).MeasureMean(truth, m.R)
+		counts := scratches[worker].at(m.Noise, m.Seed, uint64(i)).MeasureMean(truth, m.R)
 		return Measurement{Pred: pred, TrueLabel: s.Label, Counts: counts, Conf: conf}
 	})
 }

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"advhunter/internal/tensor"
+	"advhunter/internal/uarch/hpc"
+)
+
+// Fingerprint hashes a tensor's shape and exact float64 contents (FNV-1a over
+// the raw bit patterns, so -0/+0 and NaN payloads are distinguished exactly
+// like the engine would distinguish them). Two tensors share a fingerprint
+// only if they would produce the identical inference trace, which is what
+// makes truth-count memoisation sound: the simulated engine is deterministic,
+// so equal inputs imply equal (pred, conf, counts).
+func Fingerprint(x *tensor.Tensor) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	h ^= uint64(x.Rank())
+	h *= prime
+	for _, d := range x.Shape() {
+		h ^= uint64(d)
+		h *= prime
+	}
+	for _, v := range x.Data() {
+		h ^= math.Float64bits(v)
+		h *= prime
+	}
+	return h
+}
+
+// Truth is the noise-free outcome of one simulated inference: the hard-label
+// prediction, its softmax confidence, and the true HPC counts. It is the part
+// of a measurement that is a pure function of the input — everything the
+// noise protocol adds on top is keyed by the sample index, not the input.
+type Truth struct {
+	Pred   int
+	Conf   float64
+	Counts hpc.Counts
+}
+
+// TruthCacheStats reports cache effectiveness.
+type TruthCacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// TruthCache memoises Truth values by input fingerprint with LRU eviction.
+// It is safe for concurrent use — serve workers measuring on separate engine
+// replicas share one cache, so a repeated query pays the simulated inference
+// only once regardless of which worker sees it.
+type TruthCache struct {
+	mu    sync.Mutex
+	cap   int
+	index map[uint64]int
+	slots []truthSlot
+	head  int // most recently used; -1 when empty
+	tail  int // least recently used; -1 when empty
+	stats TruthCacheStats
+}
+
+type truthSlot struct {
+	fp         uint64
+	truth      Truth
+	prev, next int
+}
+
+// NewTruthCache builds a cache holding up to capacity entries. A capacity
+// <= 0 returns nil, and a nil *TruthCache is a valid "always miss, never
+// store" cache for every method, so callers can thread an optional cache
+// without branching.
+func NewTruthCache(capacity int) *TruthCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &TruthCache{
+		cap:   capacity,
+		index: make(map[uint64]int, capacity),
+		head:  -1,
+		tail:  -1,
+	}
+}
+
+// Get returns the memoised truth for fp, marking the entry most recently
+// used.
+func (c *TruthCache) Get(fp uint64) (Truth, bool) {
+	if c == nil {
+		return Truth{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i, ok := c.index[fp]
+	if !ok {
+		c.stats.Misses++
+		return Truth{}, false
+	}
+	c.stats.Hits++
+	c.moveFront(i)
+	return c.slots[i].truth, true
+}
+
+// Put stores the truth for fp, evicting the least recently used entry at
+// capacity. Storing an existing fingerprint refreshes its recency (the truth
+// is identical by construction — it is a pure function of the input).
+func (c *TruthCache) Put(fp uint64, t Truth) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i, ok := c.index[fp]; ok {
+		c.slots[i].truth = t
+		c.moveFront(i)
+		return
+	}
+	var i int
+	if len(c.slots) < c.cap {
+		i = len(c.slots)
+		c.slots = append(c.slots, truthSlot{})
+	} else {
+		i = c.tail
+		c.unlink(i)
+		delete(c.index, c.slots[i].fp)
+	}
+	c.slots[i] = truthSlot{fp: fp, truth: t, prev: -1, next: -1}
+	c.pushFront(i)
+	c.index[fp] = i
+}
+
+// Len returns the number of resident entries.
+func (c *TruthCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.index)
+}
+
+// Stats returns a snapshot of the hit/miss counters.
+func (c *TruthCache) Stats() TruthCacheStats {
+	if c == nil {
+		return TruthCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// unlink removes slot i from the recency list.
+func (c *TruthCache) unlink(i int) {
+	s := &c.slots[i]
+	if s.prev >= 0 {
+		c.slots[s.prev].next = s.next
+	} else {
+		c.head = s.next
+	}
+	if s.next >= 0 {
+		c.slots[s.next].prev = s.prev
+	} else {
+		c.tail = s.prev
+	}
+	s.prev, s.next = -1, -1
+}
+
+// pushFront links slot i (currently unlinked) as most recently used.
+func (c *TruthCache) pushFront(i int) {
+	c.slots[i].prev = -1
+	c.slots[i].next = c.head
+	if c.head >= 0 {
+		c.slots[c.head].prev = i
+	} else {
+		c.tail = i
+	}
+	c.head = i
+}
+
+// moveFront marks slot i most recently used.
+func (c *TruthCache) moveFront(i int) {
+	if c.head == i {
+		return
+	}
+	c.unlink(i)
+	c.pushFront(i)
+}
+
+// MeasureAtCached is MeasureAt with truth-count memoisation: the noise-free
+// inference outcome is looked up in (or inserted into) cache by input
+// fingerprint, and the R noisy readings are then drawn from sample index i's
+// stream exactly as MeasureAt would draw them. Because the noise is keyed by
+// i — never by the truth's provenance — the returned Measurement is
+// bit-identical to an uncached MeasureAt(i, x) on both hit and miss paths.
+// The second return reports whether the truth came from the cache. A nil
+// cache degrades to plain MeasureAt.
+func (m *Measurer) MeasureAtCached(cache *TruthCache, i uint64, x *tensor.Tensor) (Measurement, bool) {
+	if cache == nil {
+		return m.MeasureAt(i, x), false
+	}
+	var start time.Time
+	if m.Observe != nil {
+		start = time.Now()
+	}
+	fp := Fingerprint(x)
+	t, hit := cache.Get(fp)
+	if !hit {
+		pred, conf, truth := m.Engine.InferConf(x)
+		t = Truth{Pred: pred, Conf: conf, Counts: truth}
+		cache.Put(fp, t)
+	}
+	meas := Measurement{
+		Pred:      t.Pred,
+		TrueLabel: -1,
+		Counts:    m.noiseAt(i).MeasureMean(t.Counts, m.R),
+		Conf:      t.Conf,
+	}
+	if m.Observe != nil {
+		m.Observe(time.Since(start), meas)
+	}
+	return meas, hit
+}

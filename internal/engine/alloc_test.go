@@ -1,0 +1,25 @@
+package engine
+
+import (
+	"testing"
+
+	"advhunter/internal/models"
+)
+
+// TestInferSteadyStateZeroAlloc gates the fast path's core promise: once the
+// per-layer scratch arena and replay pools are warm, Infer must never touch
+// the heap. Guarded for both the deepest architecture and the default one so
+// a regression in either the conv or the dense replay path trips it.
+func TestInferSteadyStateZeroAlloc(t *testing.T) {
+	for _, arch := range []string{"resnet18", "simplecnn"} {
+		m := models.MustBuild(arch, 3, 32, 32, 10, 1)
+		e := NewDefault(m)
+		x := randomImage(1, 3, 32, 32)
+		for i := 0; i < 3; i++ { // warm pools and scratch
+			e.Infer(x)
+		}
+		if n := testing.AllocsPerRun(10, func() { e.Infer(x) }); n != 0 {
+			t.Fatalf("%s: Infer allocs/op = %v, want 0", arch, n)
+		}
+	}
+}

@@ -47,9 +47,10 @@ func newCoRunner(cfg CoRunnerConfig, llc cache.Level) *coRunner {
 }
 
 // reset restarts the co-runner's deterministic stream so per-image counts
-// stay reproducible.
+// stay reproducible. The generator is reseeded in place (not reallocated) so
+// resetting between inferences does not produce garbage.
 func (c *coRunner) reset() {
-	c.r = rng.New(c.cfg.Seed ^ 0xc0c0)
+	c.r.Reseed(c.cfg.Seed ^ 0xc0c0)
 	c.counter = 0
 }
 

@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"advhunter/internal/models"
+	"advhunter/internal/rng"
+	"advhunter/internal/tensor"
+	"advhunter/internal/uarch/cache"
+	"advhunter/internal/uarch/hpc"
+)
+
+// differentialConfigs spans every machine feature whose event accounting the
+// fast replay path re-implements: all four replacement policies, both
+// prefetchers, the co-runner (which forces per-line run fallback), branchy
+// kernels, quantised zero detection, a TLB-less hierarchy, and a kitchen-sink
+// combination.
+func differentialConfigs() []MachineConfig {
+	var out []MachineConfig
+	for _, pol := range []cache.Policy{cache.LRU, cache.PLRU, cache.SRRIP, cache.Random} {
+		cfg := DefaultMachineConfig()
+		cfg.Hierarchy.L1I.Policy = pol
+		cfg.Hierarchy.L1D.Policy = pol
+		cfg.Hierarchy.L2.Policy = pol
+		cfg.Hierarchy.LLC.Policy = pol
+		out = append(out, cfg)
+	}
+	nl := DefaultMachineConfig()
+	nl.Hierarchy.L1DPrefetcher = &cache.NextLinePrefetcher{LineB: 64}
+	out = append(out, nl)
+	st := DefaultMachineConfig()
+	st.Hierarchy.L1DPrefetcher = &cache.StridePrefetcher{LineB: 64, Degree: 2}
+	out = append(out, st)
+	co := DefaultMachineConfig()
+	co.CoRunner = CoRunnerConfig{EveryN: 64, Burst: 4, Seed: 9}
+	out = append(out, co)
+	br := DefaultMachineConfig()
+	br.BranchyKernels = true
+	out = append(out, br)
+	q := DefaultMachineConfig()
+	q.QuantLevels = 127
+	out = append(out, q)
+	nod := DefaultMachineConfig()
+	nod.Hierarchy.DTLB = cache.TLBConfig{}
+	out = append(out, nod)
+	mix := DefaultMachineConfig()
+	mix.Hierarchy.L1D.Policy = cache.SRRIP
+	mix.Hierarchy.L2.Policy = cache.PLRU
+	mix.Hierarchy.LLC.Policy = cache.Random
+	mix.Hierarchy.L1DPrefetcher = &cache.StridePrefetcher{LineB: 64, Degree: 3}
+	mix.CoRunner = CoRunnerConfig{EveryN: 37, Burst: 2, Seed: 5}
+	mix.BranchyKernels = true
+	out = append(out, mix)
+	return out
+}
+
+// randInput fills a fresh input tensor from r.
+func randInput(r *rng.Rand) *tensor.Tensor {
+	x := tensor.New(1, 16, 16)
+	d := x.Data()
+	for i := range d {
+		d[i] = r.Float64()*2 - 1
+	}
+	return x
+}
+
+// requireSame asserts two inference outcomes are bit-identical.
+func requireSame(t *testing.T, label string, pf, ps int, cf, cs float64, nf, ns hpc.Counts) {
+	t.Helper()
+	if pf != ps {
+		t.Fatalf("%s: pred fast=%d scalar=%d", label, pf, ps)
+	}
+	if math.Float64bits(cf) != math.Float64bits(cs) {
+		t.Fatalf("%s: conf fast=%x scalar=%x", label, math.Float64bits(cf), math.Float64bits(cs))
+	}
+	for e := hpc.Event(0); e < hpc.NumEvents; e++ {
+		if math.Float64bits(nf[e]) != math.Float64bits(ns[e]) {
+			t.Fatalf("%s: event %v fast=%v scalar=%v", label, e, nf[e], ns[e])
+		}
+	}
+}
+
+// TestFastReplayMatchesScalar pins the coalesced zero-allocation replay path
+// to the original per-line scalar path, count for count: for every
+// architecture and machine configuration, predictions, confidences and all
+// HPC events must be bit-identical, on the original engines, on Clone
+// replicas, and on repeated queries of one input.
+func TestFastReplayMatchesScalar(t *testing.T) {
+	for _, arch := range models.Architectures() {
+		for ci, cfg := range differentialConfigs() {
+			scfg := cfg
+			scfg.ScalarReplay = true
+			// Identically-seeded model builds: scalar-mode forwards write
+			// layer caches, so the two engines get private model instances.
+			fast := New(models.MustBuild(arch, 1, 16, 16, 10, 7), cfg)
+			slow := New(models.MustBuild(arch, 1, 16, 16, 10, 7), scfg)
+			r := rng.New(uint64(ci)*1000003 + 17)
+			for rep := 0; rep < 2; rep++ {
+				x := randInput(r)
+				pf, cf, nf := fast.InferConf(x)
+				ps, cs, ns := slow.InferConf(x)
+				requireSame(t, arch+" rep", pf, ps, cf, cs, nf, ns)
+			}
+			// Replicas must replay the identical trace.
+			fc, sc := fast.Clone(), slow.Clone()
+			x := randInput(r)
+			pf, cf, nf := fc.InferConf(x)
+			ps, cs, ns := sc.InferConf(x)
+			requireSame(t, arch+" clone", pf, ps, cf, cs, nf, ns)
+			// Repeated query: re-measuring the same input must agree across
+			// paths. (Not necessarily with its own first reading — the Random
+			// policy's victim stream deliberately survives machine resets.)
+			p2, c2, n2 := fc.InferConf(x)
+			ps2, cs2, ns2 := sc.InferConf(x)
+			requireSame(t, arch+" repeat", p2, ps2, c2, cs2, n2, ns2)
+		}
+	}
+}
+
+// TestCloneSharesLayoutFast verifies the fast-mode Clone fix: replicas share
+// the original's model and address layout by pointer identity instead of
+// rebuilding them, which both saves the rebuild and guarantees an identical
+// synthetic memory map.
+func TestCloneSharesLayoutFast(t *testing.T) {
+	e := New(models.MustBuild("simplecnn", 1, 16, 16, 10, 3), DefaultMachineConfig())
+	c := e.Clone()
+	if c.lo != e.lo {
+		t.Fatal("fast-mode Clone must share the layout pointer")
+	}
+	if c.Model != e.Model {
+		t.Fatal("fast-mode Clone must share the model")
+	}
+	// Scalar mode keeps the deep-clone semantics.
+	scfg := DefaultMachineConfig()
+	scfg.ScalarReplay = true
+	se := New(models.MustBuild("simplecnn", 1, 16, 16, 10, 3), scfg)
+	sc := se.Clone()
+	if sc.Model == se.Model {
+		t.Fatal("scalar-mode Clone must deep-clone the model")
+	}
+}

@@ -20,11 +20,22 @@ type Engine struct {
 	ar      arena
 	branchy bool
 	qlevels int
+
+	// Fast-path state (nil/unused when cfg.ScalarReplay is set): the layer
+	// scratch arena plus ordered-replay pools for ref metadata. Together they
+	// make steady-state Infer allocation-free.
+	sc    *nn.Scratch
+	lzs   slicePool[bool]
+	rzs   slicePool[[]bool]
+	refs  slicePool[tref]
+	touts slicePool[*tensor.Tensor]
+	rgz   []bool
+	pair  [2]*tensor.Tensor
 }
 
 // New builds an engine for the model on the configured machine.
 func New(m *models.Model, cfg MachineConfig) *Engine {
-	return &Engine{
+	e := &Engine{
 		Model:   m,
 		M:       NewMachine(cfg),
 		cfg:     cfg,
@@ -32,20 +43,69 @@ func New(m *models.Model, cfg MachineConfig) *Engine {
 		branchy: cfg.BranchyKernels,
 		qlevels: cfg.QuantLevels,
 	}
+	if !cfg.ScalarReplay {
+		e.sc = &nn.Scratch{}
+	}
+	return e
 }
 
 // NewDefault builds an engine on the default machine.
 func NewDefault(m *models.Model) *Engine { return New(m, DefaultMachineConfig()) }
 
 // Clone returns an independent engine replica for concurrent measurement:
-// the model is cloned sharing its weight tensors (models.Model.Clone), and
 // the machine — cache hierarchy, branch predictor, co-runner — is rebuilt
-// from the engine's MachineConfig in its power-on state. Because the cloned
-// network preserves layer walk order, the replica's synthetic address layout
-// is byte-identical to the original's, so Infer on a replica returns exactly
-// the counts the original would return for the same input.
+// from the engine's MachineConfig in its power-on state, and the replica gets
+// its own scratch arena and replay pools. The model and the address layout
+// are shared: the fast-path forward (nn.ScratchForwarder) never writes layer
+// state, so replicas can trace the shared network concurrently, and sharing
+// the layout keeps the replica's synthetic address map byte-identical to the
+// original's — Infer on a replica returns exactly the counts the original
+// would return for the same input. (A ReLU Record hook, if installed, fires
+// from every replica; hooks that aggregate must synchronize themselves.)
+//
+// In scalar-replay mode the layer forwards write backward caches, so the
+// model is deep-cloned (sharing weight tensors) and the layout rebuilt; walk
+// order is preserved, keeping the address map byte-identical there too.
 func (e *Engine) Clone() *Engine {
-	return New(e.Model.Clone(), e.cfg)
+	if e.sc == nil {
+		return New(e.Model.Clone(), e.cfg)
+	}
+	return &Engine{
+		Model:   e.Model,
+		M:       NewMachine(e.cfg),
+		cfg:     e.cfg,
+		lo:      e.lo,
+		branchy: e.branchy,
+		qlevels: e.qlevels,
+		sc:      &nn.Scratch{},
+	}
+}
+
+// trace resets the machine and replays one forward pass, returning the
+// placed output ref. In fast mode the batch tensor and all ref metadata come
+// from the engine's pools; in scalar mode the original allocating path runs.
+func (e *Engine) trace(x *tensor.Tensor) tref {
+	e.M.Reset()
+	e.ar.reset()
+	meta := e.Model.Meta
+	var batch *tensor.Tensor
+	if e.sc != nil {
+		e.sc.Reset()
+		e.lzs.reset()
+		e.rzs.reset()
+		e.refs.reset()
+		e.touts.reset()
+		batch = e.sc.Tensor(1, meta.InC, meta.InH, meta.InW)
+		bd, xd := batch.Data(), x.Data()
+		if len(bd) != len(xd) {
+			panic(fmt.Sprintf("engine: input has %d elements, model expects %d", len(xd), len(bd)))
+		}
+		copy(bd, xd)
+	} else {
+		batch = x.Clone().Reshape(1, meta.InC, meta.InH, meta.InW)
+	}
+	in := e.makeRef(batch, inputBase, quantTol(batch, e.qlevels))
+	return e.traceLayer(e.Model.Net, in)
 }
 
 // Infer classifies the image x (shape [C,H,W]) on the simulated machine and
@@ -53,12 +113,7 @@ func (e *Engine) Clone() *Engine {
 // counts of that inference. The machine is reset first, so counts are a
 // deterministic function of (model, input).
 func (e *Engine) Infer(x *tensor.Tensor) (int, hpc.Counts) {
-	e.M.Reset()
-	e.ar.reset()
-	meta := e.Model.Meta
-	batch := x.Clone().Reshape(1, meta.InC, meta.InH, meta.InW)
-	in := makeRef(batch, inputBase, quantTol(batch, e.qlevels))
-	out := e.traceLayer(e.Model.Net, in)
+	out := e.trace(x)
 	return out.t.Argmax(), e.M.Counts()
 }
 
@@ -74,12 +129,7 @@ func (e *Engine) Predict(x *tensor.Tensor) int {
 // must not consume it — it exists for the soft-label confidence baseline the
 // paper compares against.
 func (e *Engine) InferConf(x *tensor.Tensor) (int, float64, hpc.Counts) {
-	e.M.Reset()
-	e.ar.reset()
-	meta := e.Model.Meta
-	batch := x.Clone().Reshape(1, meta.InC, meta.InH, meta.InW)
-	in := makeRef(batch, inputBase, quantTol(batch, e.qlevels))
-	out := e.traceLayer(e.Model.Net, in)
+	out := e.trace(x)
 	logits := out.t.Data()
 	lmax := logits[0]
 	for _, v := range logits[1:] {
@@ -96,7 +146,51 @@ func (e *Engine) InferConf(x *tensor.Tensor) (int, float64, hpc.Counts) {
 
 // newOutput places a freshly produced activation tensor in the arena.
 func (e *Engine) newOutput(t *tensor.Tensor) tref {
-	return makeRef(t, e.ar.alloc(t.Len()*8), quantTol(t, e.qlevels))
+	return e.makeRef(t, e.ar.alloc(t.Len()*8), quantTol(t, e.qlevels))
+}
+
+// makeRef builds the zero-metadata ref for t at addr. In fast mode the
+// lineZero/rowZero bitmaps come from the ordered-replay pools; scalar mode
+// allocates them fresh.
+func (e *Engine) makeRef(t *tensor.Tensor, addr uint64, tol float64) tref {
+	if e.sc == nil {
+		return makeRef(t, addr, tol)
+	}
+	lz := e.lzs.get(ceilDiv(t.Len(), floatsPerLine))
+	var rz [][]bool
+	if t.Rank() == 4 && t.Dim(0) == 1 {
+		rz = e.rzs.get(t.Dim(1))
+		h := t.Dim(2)
+		for ci := range rz {
+			rz[ci] = e.lzs.get(h)
+		}
+	}
+	return fillRef(t, addr, tol, lz, rz)
+}
+
+// forward runs the layer's inference-mode forward pass, through the scratch
+// arena when the fast path is active.
+func (e *Engine) forward(l nn.Layer, x *tensor.Tensor) *tensor.Tensor {
+	if e.sc != nil {
+		if sf, ok := l.(nn.ScratchForwarder); ok {
+			return sf.ForwardScratch(x, e.sc)
+		}
+	}
+	return l.Forward(x, false)
+}
+
+// concat concatenates branch outputs along channels, into a scratch tensor
+// on the fast path.
+func (e *Engine) concat(outs []*tensor.Tensor) *tensor.Tensor {
+	if e.sc == nil {
+		return nn.ConcatChannels(outs...)
+	}
+	totalC := 0
+	for _, o := range outs {
+		totalC += o.Dim(1)
+	}
+	cat := e.sc.Tensor(outs[0].Dim(0), totalC, outs[0].Dim(2), outs[0].Dim(3))
+	return nn.ConcatChannelsInto(cat, outs...)
 }
 
 // traceLayer dispatches on the concrete layer type, reproducing the
@@ -128,7 +222,7 @@ func (e *Engine) traceLayer(l nn.Layer, in tref) tref {
 		return e.traceGAP(l, in)
 	case *nn.Flatten:
 		// A view change: no data movement, shared address.
-		out := l.Forward(in.t, false)
+		out := e.forward(l, in.t)
 		return tref{t: out, addr: in.addr, lineZero: in.lineZero}
 	case *nn.Dropout:
 		// Identity at inference time.
@@ -147,10 +241,16 @@ func (e *Engine) traceLayer(l nn.Layer, in tref) tref {
 }
 
 // loadSpan loads the lines covering elements [elemOff, elemOff+n) of ref,
-// honouring per-line zero content.
+// honouring per-line zero content. The fast path emits the whole span as one
+// run (resolved in a tight loop over precomputed set/tag strides); scalar
+// mode replays it line by line. Both produce the same event sequence.
 func (e *Engine) loadSpan(ref tref, elemOff, n int) {
 	first := elemOff / floatsPerLine
 	last := (elemOff + n - 1) / floatsPerLine
+	if e.sc != nil {
+		e.M.loadRun(ref.addr+uint64(first*lineB), last-first+1, ref.lineZero[first:last+1])
+		return
+	}
 	for li := first; li <= last; li++ {
 		e.M.loadLine(ref.addr+uint64(li*lineB), ref.lineZero[li])
 	}
@@ -160,6 +260,10 @@ func (e *Engine) loadSpan(ref tref, elemOff, n int) {
 func (e *Engine) storeSpan(ref tref, elemOff, n int) {
 	first := elemOff / floatsPerLine
 	last := (elemOff + n - 1) / floatsPerLine
+	if e.sc != nil {
+		e.M.storeRun(ref.addr+uint64(first*lineB), last-first+1, ref.lineZero[first:last+1])
+		return
+	}
 	for li := first; li <= last; li++ {
 		e.M.storeLine(ref.addr+uint64(li*lineB), ref.lineZero[li])
 	}
@@ -170,9 +274,22 @@ func (e *Engine) storeSpan(ref tref, elemOff, n int) {
 func (e *Engine) loadWeights(base uint64, elemOff, n int) {
 	first := elemOff / floatsPerLine
 	last := (elemOff + n - 1) / floatsPerLine
+	if e.sc != nil {
+		e.M.loadRun(base+uint64(first*lineB), last-first+1, nil)
+		return
+	}
 	for li := first; li <= last; li++ {
 		e.M.loadLine(base+uint64(li*lineB), false)
 	}
+}
+
+// rowGroupBuf returns the engine's reusable elision-predicate buffer, grown
+// to at least n entries. Contents are overwritten by the caller.
+func (e *Engine) rowGroupBuf(n int) []bool {
+	if cap(e.rgz) < n {
+		e.rgz = make([]bool, n)
+	}
+	return e.rgz[:n]
 }
 
 // rowGroupZero reports whether every in-bounds input row feeding output row
@@ -197,21 +314,27 @@ func rowGroupZero(in tref, ic, oy, stride, kernel, pad, inH int) bool {
 // k input rows are loaded unless the input row group is all zero, in which
 // case the predicated MACs still issue but no data moves.
 func (e *Engine) traceConv(l *nn.Conv2D, in tref) tref {
-	out := e.newOutput(l.Forward(in.t, false))
+	out := e.newOutput(e.forward(l, in.t))
 	inC, inH, inW := in.t.Dim(1), in.t.Dim(2), in.t.Dim(3)
 	outC, outH, outW := out.t.Dim(1), out.t.Dim(2), out.t.Dim(3)
 	k := l.Kernel
 	cb, wb := e.lo.code[l], e.lo.weight[l]
 	m := e.M
 
+	rgz := e.rowGroupBuf(inC)
 	m.fetchCode(cb, 2)
 	for oy := 0; oy < outH; oy++ {
+		// The elision predicate depends only on (ic, oy), so it is hoisted
+		// out of the output-channel loop: one evaluation feeds all outC uses.
+		for ic := 0; ic < inC; ic++ {
+			rgz[ic] = rowGroupZero(in, ic, oy, l.Stride, k, l.Pad, inH)
+		}
 		m.fetchCode(cb+128, 4)
 		for oc := 0; oc < outC; oc++ {
 			for ic := 0; ic < inC; ic++ {
 				// Predicated MACs always retire.
 				m.Instructions += uint64(2*k*k*outW + 4)
-				if rowGroupZero(in, ic, oy, l.Stride, k, l.Pad, inH) {
+				if rgz[ic] {
 					continue // ZCA: no weight or activation traffic
 				}
 				e.loadWeights(wb, (oc*inC+ic)*k*k, k*k)
@@ -237,7 +360,7 @@ func (e *Engine) traceConv(l *nn.Conv2D, in tref) tref {
 
 // traceDepthwise replays a depthwise convolution (one filter per channel).
 func (e *Engine) traceDepthwise(l *nn.DepthwiseConv2D, in tref) tref {
-	out := e.newOutput(l.Forward(in.t, false))
+	out := e.newOutput(e.forward(l, in.t))
 	c, inH, inW := in.t.Dim(1), in.t.Dim(2), in.t.Dim(3)
 	outH, outW := out.t.Dim(2), out.t.Dim(3)
 	k := l.Kernel
@@ -271,7 +394,7 @@ func (e *Engine) traceDepthwise(l *nn.DepthwiseConv2D, in tref) tref {
 // traceLinear replays a fully connected layer: per output neuron the weight
 // row streams in, with the blocks gated by all-zero input lines elided.
 func (e *Engine) traceLinear(l *nn.Linear, in tref) tref {
-	out := e.newOutput(l.Forward(in.t, false))
+	out := e.newOutput(e.forward(l, in.t))
 	inN, outN := l.In, l.Out
 	cb, wb := e.lo.code[l], e.lo.weight[l]
 	m := e.M
@@ -301,7 +424,7 @@ func (e *Engine) traceLinear(l *nn.Linear, in tref) tref {
 // branch on its sign. Either way, all-zero result lines are absorbed by the
 // ZCA structure.
 func (e *Engine) traceReLU(l *nn.ReLU, in tref) tref {
-	out := e.newOutput(l.Forward(in.t, false))
+	out := e.newOutput(e.forward(l, in.t))
 	cb := e.lo.code[l]
 	m := e.M
 	m.fetchCode(cb, 1)
@@ -327,7 +450,7 @@ func (e *Engine) traceReLU(l *nn.ReLU, in tref) tref {
 // traceEltwise replays a branch-free element-wise map (sigmoid, scaling):
 // load, compute, store per line.
 func (e *Engine) traceEltwise(l nn.Layer, in tref, instrPerElem int, _ bool) tref {
-	out := e.newOutput(l.Forward(in.t, false))
+	out := e.newOutput(e.forward(l, in.t))
 	cb := e.lo.code[l]
 	m := e.M
 	m.fetchCode(cb, 1)
@@ -343,7 +466,7 @@ func (e *Engine) traceEltwise(l nn.Layer, in tref, instrPerElem int, _ bool) tre
 // traceBatchNorm replays the inference-time affine map plus its parameter
 // loads.
 func (e *Engine) traceBatchNorm(l *nn.BatchNorm2D, in tref) tref {
-	out := e.newOutput(l.Forward(in.t, false))
+	out := e.newOutput(e.forward(l, in.t))
 	cb, wb := e.lo.code[l], e.lo.weight[l]
 	m := e.M
 	m.fetchCode(cb, 1)
@@ -359,7 +482,7 @@ func (e *Engine) traceBatchNorm(l *nn.BatchNorm2D, in tref) tref {
 
 // traceMaxPool replays pooling with its data-dependent comparison branches.
 func (e *Engine) traceMaxPool(l *nn.MaxPool2D, in tref) tref {
-	out := e.newOutput(l.Forward(in.t, false))
+	out := e.newOutput(e.forward(l, in.t))
 	c, inH, inW := in.t.Dim(1), in.t.Dim(2), in.t.Dim(3)
 	outH, outW := out.t.Dim(2), out.t.Dim(3)
 	cb := e.lo.code[l]
@@ -411,7 +534,7 @@ func (e *Engine) traceMaxPool(l *nn.MaxPool2D, in tref) tref {
 
 // traceAvgPool replays average pooling (branch-free accumulation).
 func (e *Engine) traceAvgPool(l *nn.AvgPool2D, in tref) tref {
-	out := e.newOutput(l.Forward(in.t, false))
+	out := e.newOutput(e.forward(l, in.t))
 	c, inH, inW := in.t.Dim(1), in.t.Dim(2), in.t.Dim(3)
 	outH, outW := out.t.Dim(2), out.t.Dim(3)
 	cb := e.lo.code[l]
@@ -436,7 +559,7 @@ func (e *Engine) traceAvgPool(l *nn.AvgPool2D, in tref) tref {
 
 // traceGAP replays global average pooling.
 func (e *Engine) traceGAP(l *nn.GlobalAvgPool, in tref) tref {
-	out := e.newOutput(l.Forward(in.t, false))
+	out := e.newOutput(e.forward(l, in.t))
 	cb := e.lo.code[l]
 	m := e.M
 	m.fetchCode(cb, 1)
@@ -456,7 +579,14 @@ func (e *Engine) traceResidual(l *nn.Residual, in tref) tref {
 	if l.Shortcut != nil {
 		short = e.traceLayer(l.Shortcut, in)
 	}
-	sum := tensor.Add(body.t, short.t)
+	var sum *tensor.Tensor
+	if e.sc != nil {
+		sum = e.sc.Tensor(body.t.Shape()...)
+		copy(sum.Data(), body.t.Data())
+		sum.AddInPlace(short.t)
+	} else {
+		sum = tensor.Add(body.t, short.t)
+	}
 	out := e.newOutput(sum)
 	cb := e.lo.code[l]
 	m := e.M
@@ -474,13 +604,20 @@ func (e *Engine) traceResidual(l *nn.Residual, in tref) tref {
 // traceParallel replays every branch on the same input and the channel
 // concatenation of their outputs.
 func (e *Engine) traceParallel(l *nn.Parallel, in tref) tref {
-	refs := make([]tref, len(l.Branches))
-	outs := make([]*tensor.Tensor, len(l.Branches))
+	var refs []tref
+	var outs []*tensor.Tensor
+	if e.sc != nil {
+		refs = e.refs.get(len(l.Branches))
+		outs = e.touts.get(len(l.Branches))
+	} else {
+		refs = make([]tref, len(l.Branches))
+		outs = make([]*tensor.Tensor, len(l.Branches))
+	}
 	for i, b := range l.Branches {
 		refs[i] = e.traceLayer(b, in)
 		outs[i] = refs[i].t
 	}
-	out := e.newOutput(nn.ConcatChannels(outs...))
+	out := e.newOutput(e.concat(outs))
 	cb := e.lo.code[l]
 	m := e.M
 	m.fetchCode(cb, 1)
@@ -505,7 +642,8 @@ func (e *Engine) traceDense(l *nn.DenseBlock, in tref) tref {
 	m := e.M
 	for _, u := range l.Units {
 		y := e.traceLayer(u, cur)
-		cat := e.newOutput(nn.ConcatChannels(cur.t, y.t))
+		e.pair[0], e.pair[1] = cur.t, y.t
+		cat := e.newOutput(e.concat(e.pair[:]))
 		m.fetchCode(cb, 1)
 		for li := 0; li < cur.lines(); li++ {
 			e.loadSpan(cur, li*floatsPerLine, 1)
@@ -527,7 +665,7 @@ func (e *Engine) traceDense(l *nn.DenseBlock, in tref) tref {
 // gating MLP (weights stream like a linear layer), and the channel-scaling
 // pass.
 func (e *Engine) traceSE(l *nn.SqueezeExcite, in tref) tref {
-	out := e.newOutput(l.Forward(in.t, false))
+	out := e.newOutput(e.forward(l, in.t))
 	cb, wb := e.lo.code[l], e.lo.weight[l]
 	m := e.M
 	m.fetchCode(cb, 2)

@@ -32,14 +32,31 @@ func (r tref) lines() int { return len(r.lineZero) }
 // float zeros (post-ReLU only).
 func makeRef(t *tensor.Tensor, addr uint64, tol float64) tref {
 	d := t.Data()
+	lz := make([]bool, ceilDiv(len(d), floatsPerLine))
+	var rz [][]bool
+	if t.Rank() == 4 && t.Dim(0) == 1 {
+		rz = make([][]bool, t.Dim(1))
+		for ci := range rz {
+			rz[ci] = make([]bool, t.Dim(2))
+		}
+	}
+	return fillRef(t, addr, tol, lz, rz)
+}
+
+// fillRef is makeRef's core: it computes the zero metadata into the
+// caller-provided buffers (lz sized to the line count; rz, when the tensor is
+// rank-4 single-batch, sized [C][H]) and fully overwrites them. The fast path
+// feeds it pooled buffers so steady-state inference builds refs without
+// allocating.
+func fillRef(t *tensor.Tensor, addr uint64, tol float64, lz []bool, rz [][]bool) tref {
+	d := t.Data()
 	isZero := func(v float64) bool {
 		if v < 0 {
 			v = -v
 		}
 		return v <= tol
 	}
-	nLines := ceilDiv(len(d), floatsPerLine)
-	lz := make([]bool, nLines)
+	nLines := len(lz)
 	for li := 0; li < nLines; li++ {
 		zero := true
 		end := (li + 1) * floatsPerLine
@@ -55,11 +72,9 @@ func makeRef(t *tensor.Tensor, addr uint64, tol float64) tref {
 		lz[li] = zero
 	}
 	ref := tref{t: t, addr: addr, lineZero: lz}
-	if t.Rank() == 4 && t.Dim(0) == 1 {
+	if rz != nil {
 		c, h, w := t.Dim(1), t.Dim(2), t.Dim(3)
-		rz := make([][]bool, c)
 		for ci := 0; ci < c; ci++ {
-			rz[ci] = make([]bool, h)
 			for y := 0; y < h; y++ {
 				off := (ci*h + y) * w
 				zero := true

@@ -50,7 +50,8 @@ type Machine struct {
 	// Instructions is the architectural retired-instruction counter.
 	Instructions uint64
 
-	co *coRunner
+	co     *coRunner
+	scalar bool
 }
 
 // MachineConfig selects the hardware model.
@@ -80,6 +81,12 @@ type MachineConfig struct {
 	// process (mechanical interference, as opposed to the post-hoc
 	// statistical noise model).
 	CoRunner CoRunnerConfig
+	// ScalarReplay selects the original per-line replay loops and the
+	// allocating layer forward passes instead of the coalesced-run fast path
+	// with the scratch arena. Counts and predictions are bit-identical either
+	// way — the flag exists so differential tests and ablations can A/B the
+	// two implementations.
+	ScalarReplay bool
 }
 
 // DefaultMachineConfig mirrors the scaled-down desktop part described in
@@ -99,9 +106,10 @@ func NewMachine(cfg MachineConfig) *Machine {
 	}
 	hier := cache.NewHierarchy(cfg.Hierarchy)
 	return &Machine{
-		Hier: hier,
-		BP:   branch.NewCounted(p),
-		co:   newCoRunner(cfg.CoRunner, hier.LLC),
+		Hier:   hier,
+		BP:     branch.NewCounted(p),
+		co:     newCoRunner(cfg.CoRunner, hier.LLC),
+		scalar: cfg.ScalarReplay,
 	}
 }
 
@@ -136,11 +144,49 @@ func (m *Machine) storeLine(addr uint64, zero bool) {
 	}
 }
 
-// fetchCode fetches n consecutive code lines starting at base.
-func (m *Machine) fetchCode(base uint64, n int) {
-	for i := 0; i < n; i++ {
-		m.Hier.Fetch(base + uint64(i*lineB))
+// loadRun issues n demand loads over consecutive lines starting at base
+// (line-aligned), with zero[i] flagging ZCA-absorbed lines (nil = none zero).
+// With a co-runner attached, injection ticks must interleave per access, so
+// the run degrades to the per-line path; otherwise the whole span is resolved
+// by the hierarchy's run loop. Event order is identical in both cases.
+func (m *Machine) loadRun(base uint64, n int, zero []bool) {
+	if m.co == nil {
+		m.Hier.LoadRun(base, n, zero)
+		return
 	}
+	addr := base
+	for i := 0; i < n; i++ {
+		m.Hier.Load(addr, zero != nil && zero[i])
+		m.co.tick()
+		addr += lineB
+	}
+}
+
+// storeRun is loadRun for demand stores.
+func (m *Machine) storeRun(base uint64, n int, zero []bool) {
+	if m.co == nil {
+		m.Hier.StoreRun(base, n, zero)
+		return
+	}
+	addr := base
+	for i := 0; i < n; i++ {
+		m.Hier.Store(addr, zero != nil && zero[i])
+		m.co.tick()
+		addr += lineB
+	}
+}
+
+// fetchCode fetches n consecutive code lines starting at base. Instruction
+// fetches never tick the co-runner, so the run path is always legal; the
+// scalar loop is kept selectable for honest A/B benchmarking.
+func (m *Machine) fetchCode(base uint64, n int) {
+	if m.scalar {
+		for i := 0; i < n; i++ {
+			m.Hier.Fetch(base + uint64(i*lineB))
+		}
+		return
+	}
+	m.Hier.FetchRun(base, n)
 }
 
 // loopBranches accounts for a counted loop at the given site: iterations

@@ -1,0 +1,29 @@
+package engine
+
+// slicePool hands out reusable slices in call order. The engine's replay of a
+// fixed model is a deterministic sequence of trace operations, so the i-th
+// get() of one inference requests the same length as the i-th get() of the
+// next; after the first inference every request is served from the recorded
+// slot without allocating. Returned slices are NOT cleared — callers fully
+// overwrite them.
+type slicePool[T any] struct {
+	slots [][]T
+	i     int
+}
+
+// get returns a slice of length n from the next slot.
+func (p *slicePool[T]) get(n int) []T {
+	if p.i == len(p.slots) {
+		p.slots = append(p.slots, make([]T, n))
+	}
+	s := p.slots[p.i]
+	p.i++
+	if cap(s) < n {
+		s = make([]T, n)
+		p.slots[p.i-1] = s
+	}
+	return s[:n]
+}
+
+// reset rewinds the pool for the next inference, keeping the slots.
+func (p *slicePool[T]) reset() { p.i = 0 }

@@ -41,6 +41,18 @@ func New(seed uint64) *Rand {
 	return r
 }
 
+// Reseed reinitialises r in place from the given seed, exactly as if it had
+// been freshly created with New(seed). It lets long-lived components reuse a
+// single generator value across deterministic restarts without allocating.
+func (r *Rand) Reseed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	r.hasGauss = false
+	r.gauss = 0
+}
+
 // Split derives a new independent generator from r, keyed by label. Splitting
 // with distinct labels yields decorrelated streams, so components can be
 // seeded hierarchically (e.g. per-image noise streams) without coordination.

@@ -46,6 +46,10 @@ type metrics struct {
 	// Engine layer: the simulated measurement itself.
 	inferSeconds *obs.Histogram
 	hpcEvents    []*obs.Gauge // last mean reading per event, indexed by hpc.Event
+
+	// Truth-count memoisation (registered only when the cache is enabled).
+	truthHits   *obs.Counter
+	truthMisses *obs.Counter
 }
 
 func newMetrics(backend string, channels []string) *metrics {
@@ -121,6 +125,18 @@ func (m *metrics) observeMeasurement(d time.Duration, meas core.Measurement) {
 	for e := hpc.Event(0); e < hpc.NumEvents; e++ {
 		m.hpcEvents[e].Set(meas.Counts.Get(e))
 	}
+}
+
+// registerTruthCache publishes the truth-count memoisation series. Only
+// called when the cache is enabled, so a disabled server exports no
+// truth-cache series at all.
+func (m *metrics) registerTruthCache(c *core.TruthCache) {
+	m.truthHits = m.reg.Counter("advhunter_truth_cache_hits_total",
+		"Queries whose noise-free counts were served from the truth cache.").With()
+	m.truthMisses = m.reg.Counter("advhunter_truth_cache_misses_total",
+		"Queries that paid a simulated inference to fill the truth cache.").With()
+	m.reg.GaugeFunc("advhunter_truth_cache_entries",
+		"Resident truth-cache entries.", func() float64 { return float64(c.Len()) })
 }
 
 // registerQueueGauges publishes the admission-queue gauges, sampled at

@@ -56,6 +56,12 @@ type Config struct {
 	ClassName func(int) string
 	// RetryAfter is the Retry-After hint on 429s, in seconds (default 1).
 	RetryAfter int
+	// TruthCacheSize caps the fingerprint-keyed truth-count memoisation
+	// cache shared by the replica pool: a repeated query pays the simulated
+	// inference once, and the cached noise-free counts are re-noised per
+	// request index, so responses stay byte-identical to uncached serving.
+	// 0 selects the default (512); negative disables memoisation.
+	TruthCacheSize int
 	// Logger receives the server's structured records (per-request debug
 	// lines, span timings). nil selects slog.Default(). Logging and tracing
 	// are observe-only: enabling them never changes a verdict or a response
@@ -90,6 +96,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 1
 	}
+	if c.TruthCacheSize == 0 {
+		c.TruthCacheSize = 512
+	}
 	return c
 }
 
@@ -113,8 +122,9 @@ type Server struct {
 	decIdx   int // index of DecisionEvent in det.Channels(), -1 if absent
 
 	queue chan *job
-	next  atomic.Uint64 // server-assigned indices for index-less requests
-	rids  atomic.Uint64 // request ids for log correlation (distinct from idx)
+	truth *core.TruthCache // nil when memoisation is disabled
+	next  atomic.Uint64    // server-assigned indices for index-less requests
+	rids  atomic.Uint64    // request ids for log correlation (distinct from idx)
 
 	draining  atomic.Bool
 	enqueuers sync.WaitGroup // handlers between admission check and enqueue
@@ -160,6 +170,10 @@ func New(m *core.Measurer, det detect.Detector, cfg Config) *Server {
 	}
 	s.tracer = obs.NewTracer(s.stats.reg, s.logger)
 	s.stats.registerQueueGauges(s.queue)
+	if cfg.TruthCacheSize > 0 {
+		s.truth = core.NewTruthCache(cfg.TruthCacheSize)
+		s.stats.registerTruthCache(s.truth)
+	}
 	s.stats.reg.Gauge("advhunter_pool_workers", "Engine replica pool size.").With().Set(float64(cfg.Workers))
 	s.poolHooks = parallel.Hooks{
 		Queued: func(delta int) { s.stats.poolQueue.Add(float64(delta)) },
@@ -265,8 +279,15 @@ func (s *Server) process(batch []*job) {
 	s.stats.batchSizes.Observe(float64(len(live)))
 	parallel.MapWorkersHooked(len(s.workers), live, s.poolHooks, func(worker, _ int, j *job) struct{} {
 		ctx, sp := obs.StartSpan(j.ctx, "measure")
-		meas := s.workers[worker].MeasureAt(j.idx, j.x)
+		meas, hit := s.workers[worker].MeasureAtCached(s.truth, j.idx, j.x)
 		sp.End()
+		if s.truth != nil {
+			if hit {
+				s.stats.truthHits.Inc()
+			} else {
+				s.stats.truthMisses.Inc()
+			}
+		}
 		_, sp = obs.StartSpan(ctx, "score")
 		v := s.det.Detect(meas)
 		sp.End()

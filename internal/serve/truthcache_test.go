@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestTruthCacheByteIdenticalResponses is the serve-layer memoisation
+// differential: the same request sequence — including repeated queries of
+// one image under fresh indices — must produce byte-identical response
+// bodies with memoisation on and off, while the enabled server actually
+// serves repeats from the cache.
+func TestTruthCacheByteIdenticalResponses(t *testing.T) {
+	f := getFixture(t)
+	_, tsOn := newServer(t, f, Config{Workers: 2}) // default: cache enabled (512)
+	_, tsOff := newServer(t, f, Config{Workers: 2, TruthCacheSize: -1})
+
+	// Indices revisit images: repeats must hit the cache yet keep their own
+	// per-index noise stream.
+	order := []int{0, 1, 2, 0, 1, 0, 3, 2}
+	for i, si := range order {
+		req := NewRequest(f.clean[si].X, uint64(i))
+		respOn, bodyOn := post(t, tsOn.URL, req)
+		respOff, bodyOff := post(t, tsOff.URL, req)
+		if respOn.StatusCode != http.StatusOK || respOff.StatusCode != http.StatusOK {
+			t.Fatalf("step %d: status cached=%d uncached=%d", i, respOn.StatusCode, respOff.StatusCode)
+		}
+		if !bytes.Equal(bodyOn, bodyOff) {
+			t.Fatalf("step %d (image %d): cached response diverged\ncached:   %s\nuncached: %s",
+				i, si, bodyOn, bodyOff)
+		}
+	}
+
+	// The enabled server must have hit the cache on the four repeats, and
+	// export the truth-cache series; the disabled server must export none.
+	scrape := func(url string) string {
+		resp, err := http.Get(url + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	mOn := scrape(tsOn.URL)
+	if !strings.Contains(mOn, "advhunter_truth_cache_hits_total 4") {
+		t.Fatalf("cached server should report 4 truth-cache hits:\n%s", grepLines(mOn, "truth_cache"))
+	}
+	if !strings.Contains(mOn, "advhunter_truth_cache_misses_total 4") {
+		t.Fatalf("cached server should report 4 truth-cache misses:\n%s", grepLines(mOn, "truth_cache"))
+	}
+	if !strings.Contains(mOn, "advhunter_truth_cache_entries 4") {
+		t.Fatalf("cached server should report 4 resident entries:\n%s", grepLines(mOn, "truth_cache"))
+	}
+	if mOff := scrape(tsOff.URL); strings.Contains(mOff, "truth_cache") {
+		t.Fatal("disabled server must export no truth-cache series")
+	}
+}
+
+// grepLines extracts the lines of s containing substr, for failure messages.
+func grepLines(s, substr string) string {
+	var out []string
+	for _, ln := range strings.Split(s, "\n") {
+		if strings.Contains(ln, substr) {
+			out = append(out, ln)
+		}
+	}
+	return strings.Join(out, "\n")
+}

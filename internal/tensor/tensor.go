@@ -19,13 +19,22 @@ type Tensor struct {
 	data  []float64
 }
 
+// shapeStr formats a shape for panic messages without leaking the slice:
+// the copy (not the argument) escapes into the formatter, so hot callers can
+// keep their variadic shape arguments on the stack.
+func shapeStr(shape []int) string {
+	cp := make([]int, len(shape))
+	copy(cp, shape)
+	return fmt.Sprint(cp)
+}
+
 // New allocates a zero-filled tensor of the given shape. Every dimension
 // must be positive.
 func New(shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
 		if d <= 0 {
-			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+			panic("tensor: non-positive dimension in shape " + shapeStr(shape))
 		}
 		n *= d
 	}
@@ -40,12 +49,12 @@ func FromSlice(data []float64, shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
 		if d <= 0 {
-			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+			panic("tensor: non-positive dimension in shape " + shapeStr(shape))
 		}
 		n *= d
 	}
 	if len(data) != n {
-		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d elements)", len(data), shape, n))
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %s (%d elements)", len(data), shapeStr(shape), n))
 	}
 	s := make([]int, len(shape))
 	copy(s, shape)
@@ -105,7 +114,7 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 		n *= d
 	}
 	if n != len(t.data) {
-		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.shape, shape))
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %s", t.shape, shapeStr(shape)))
 	}
 	s := make([]int, len(shape))
 	copy(s, shape)

@@ -145,7 +145,8 @@ type line struct {
 	valid bool
 	dirty bool
 	tag   uint64
-	// lru is a per-set timestamp for LRU, and the RRPV for SRRIP.
+	// lru is the RRPV for SRRIP and the recency stamp for the TLB; the
+	// cache-level LRU policy keeps an explicit recency list instead.
 	lru uint64
 }
 
@@ -155,11 +156,41 @@ type Cache struct {
 	Next     Level
 	sets     []line // Sets()*Ways entries, set-major
 	plruBits []uint64
-	tick     uint64
 	rand     *rng.Rand
 	stats    Stats
 	shift    uint
 	setMask  uint64
+
+	// mru[s] is the way of set s touched most recently (hit or fill). A
+	// demand access probes it before the full way scan; tags are unique
+	// within a set, so the probe finds exactly the way the scan would and
+	// replacement state sees the identical update. It is purely a search
+	// shortcut for the L1 re-touch pattern of the conv inner loop.
+	mru []int16
+	// fillCount[s] is the number of valid ways in set s. Lines only become
+	// valid (fills) and are never invalidated outside Reset, so the valid
+	// ways always form the prefix [0, fillCount) and the "first invalid
+	// way" victim scan reduces to reading the counter.
+	fillCount []int16
+	// Per-set recency list for the LRU policy (head = most recent, tail =
+	// least). The list order is exactly descending order of the global
+	// timestamps the previous implementation stamped on touch/insert —
+	// timestamps were unique, so the tail is precisely the way the
+	// min-timestamp scan picked, found in O(1) instead of O(ways).
+	lruHead, lruTail []int16
+	lruNext, lruPrev []int16 // indexed set*Ways+way; -1 terminates
+
+	// sig packs one signature byte per way (wpset words per set): the eight
+	// tag bits just above the set index, the first bits that differ between
+	// tags competing for one set. A probe broadcasts the lookup signature and
+	// finds candidate ways with a SWAR zero-byte scan, so the common miss
+	// costs a couple of word ops instead of a full way walk. Candidates are
+	// re-verified against the real tag (valid ways hold unique tags, unfilled
+	// ways read as signature 0), so the index can only save work, never
+	// change an outcome.
+	sig      []uint64
+	wpset    int
+	sigShift uint
 }
 
 // New builds a cache level on top of next.
@@ -168,15 +199,31 @@ func New(cfg Config, next Level) *Cache {
 	if next == nil {
 		panic("cache: nil next level")
 	}
+	sets := cfg.Sets()
+	wpset := (cfg.Ways + 7) / 8
 	c := &Cache{
-		cfg:     cfg,
-		Next:    next,
-		sets:    make([]line, cfg.Sets()*cfg.Ways),
-		shift:   uint(bits.TrailingZeros(uint(cfg.LineB))),
-		setMask: uint64(cfg.Sets() - 1),
+		cfg:       cfg,
+		Next:      next,
+		sets:      make([]line, sets*cfg.Ways),
+		shift:     uint(bits.TrailingZeros(uint(cfg.LineB))),
+		setMask:   uint64(sets - 1),
+		mru:       make([]int16, sets),
+		fillCount: make([]int16, sets),
+		sig:       make([]uint64, sets*wpset),
+		wpset:     wpset,
+		sigShift:  uint(bits.Len(uint(sets - 1))),
 	}
 	if cfg.Policy == PLRU {
-		c.plruBits = make([]uint64, cfg.Sets())
+		c.plruBits = make([]uint64, sets)
+	}
+	if cfg.Policy == LRU {
+		c.lruHead = make([]int16, sets)
+		c.lruTail = make([]int16, sets)
+		c.lruNext = make([]int16, sets*cfg.Ways)
+		c.lruPrev = make([]int16, sets*cfg.Ways)
+		for i := range c.lruHead {
+			c.lruHead[i], c.lruTail[i] = -1, -1
+		}
 	}
 	if cfg.Policy == Random {
 		c.rand = rng.New(cfg.Seed ^ 0xcafef00d)
@@ -200,27 +247,83 @@ func (c *Cache) Reset() {
 	for i := range c.plruBits {
 		c.plruBits[i] = 0
 	}
-	c.tick = 0
+	for i := range c.mru {
+		c.mru[i] = 0
+	}
+	for i := range c.fillCount {
+		c.fillCount[i] = 0
+	}
+	for i := range c.lruHead {
+		c.lruHead[i], c.lruTail[i] = -1, -1
+	}
+	for i := range c.sig {
+		c.sig[i] = 0
+	}
 	c.stats = Stats{}
 }
 
 // Access performs one demand access, recursing into lower levels on miss and
 // on dirty-victim write-back.
 func (c *Cache) Access(addr uint64, kind AccessKind) {
-	c.stats.Accesses++
-	set := (addr >> c.shift) & c.setMask
-	tag := addr >> c.shift
-	base := int(set) * c.cfg.Ways
-	ways := c.sets[base : base+c.cfg.Ways]
+	c.access(addr, addr>>c.shift, kind)
+}
 
-	for w := range ways {
-		if ways[w].valid && ways[w].tag == tag {
-			c.stats.Hits++
-			c.touch(set, ways, w)
-			if kind == Store {
-				ways[w].dirty = true
+// AccessRun performs n demand accesses of kind over the consecutive lines
+// starting at base. It is behaviour-identical to calling Access once per
+// line — same hits, misses, evictions, write-backs and replacement updates
+// in the same order — but decomposes the address once and walks the tag in
+// a tight loop.
+func (c *Cache) AccessRun(base uint64, n int, kind AccessKind) {
+	lineB := uint64(c.cfg.LineB)
+	addr, tag := base, base>>c.shift
+	for i := 0; i < n; i++ {
+		c.access(addr, tag, kind)
+		addr += lineB
+		tag++
+	}
+}
+
+func (c *Cache) access(addr, tag uint64, kind AccessKind) {
+	c.stats.Accesses++
+	set := tag & c.setMask
+	base := int(set) * c.cfg.Ways
+
+	// MRU short-circuit: the conv inner loop re-reads the same input rows
+	// once per output channel, so the hottest line of a set is hit over and
+	// over. The probe is re-verified (valid + tag), and a set never holds
+	// two ways with one tag (fills happen only after a full-scan miss), so
+	// a probe hit is exactly the hit the scan would have found.
+	if m := int(c.mru[set]); c.sets[base+m].valid && c.sets[base+m].tag == tag {
+		c.stats.Hits++
+		c.touch(set, base, m)
+		if kind == Store {
+			c.sets[base+m].dirty = true
+		}
+		return
+	}
+
+	// Signature probe: broadcast the lookup byte and flag matching ways with
+	// the SWAR zero-byte trick. False positives (and flagged bytes past the
+	// last way, which read as 0) are rejected by the tag re-check; a verified
+	// match is THE match, since valid tags are unique within a set.
+	ways := c.sets[base : base+c.cfg.Ways]
+	sigBase := int(set) * c.wpset
+	bcast := uint64(uint8(tag>>c.sigShift)) * 0x0101010101010101
+	for wi := 0; wi < c.wpset; wi++ {
+		x := c.sig[sigBase+wi] ^ bcast
+		m := (x - 0x0101010101010101) &^ x & 0x8080808080808080
+		for m != 0 {
+			w := wi<<3 + bits.TrailingZeros64(m)>>3
+			if w < len(ways) && ways[w].valid && ways[w].tag == tag {
+				c.stats.Hits++
+				c.mru[set] = int16(w)
+				c.touch(set, base, w)
+				if kind == Store {
+					ways[w].dirty = true
+				}
+				return
 			}
-			return
+			m &= m - 1
 		}
 	}
 
@@ -236,70 +339,96 @@ func (c *Cache) Access(addr uint64, kind AccessKind) {
 	case Prefetch:
 		c.stats.PrefetchMisses++
 	}
-	victim := c.victim(set, ways)
+	victim := c.victim(set, base, ways)
 	if ways[victim].valid {
 		c.stats.Evictions++
 		if ways[victim].dirty {
 			c.stats.WriteBacks++
-			c.Next.Access(ways[victim].tag<<c.shift, Store)
+			c.nextAccess(ways[victim].tag<<c.shift, Store)
 		}
+	} else {
+		c.fillCount[set]++
 	}
 	// Fill from below (write-allocate: stores also fetch the line).
 	fillKind := Load
 	if kind == Fetch {
 		fillKind = Fetch
 	}
-	c.Next.Access(addr, fillKind)
+	c.nextAccess(addr, fillKind)
 	ways[victim] = line{valid: true, dirty: kind == Store, tag: tag}
-	c.insert(set, ways, victim)
+	sw := sigBase + victim>>3
+	sh := uint(victim&7) * 8
+	c.sig[sw] = c.sig[sw]&^(0xff<<sh) | uint64(uint8(tag>>c.sigShift))<<sh
+	c.mru[set] = int16(victim)
+	c.insert(set, base, victim)
+}
+
+// nextAccess forwards a miss-path transaction to the next level. The type
+// assertion devirtualises the common cache-below-cache case (skipping the
+// interface dispatch and the exported wrapper) while still reading Next at
+// call time, so tests that interpose a recording Level keep working.
+func (c *Cache) nextAccess(addr uint64, kind AccessKind) {
+	if nc, ok := c.Next.(*Cache); ok {
+		nc.access(addr, addr>>nc.shift, kind)
+	} else {
+		c.Next.Access(addr, kind)
+	}
 }
 
 // touch updates replacement metadata on a hit.
-func (c *Cache) touch(set uint64, ways []line, w int) {
+func (c *Cache) touch(set uint64, base, w int) {
 	switch c.cfg.Policy {
 	case LRU:
-		c.tick++
-		ways[w].lru = c.tick
+		// Head check here keeps the dominant already-most-recent hit free of
+		// the list-surgery call.
+		if int(c.lruHead[set]) != w {
+			c.lruMoveFront(set, base, w)
+		}
 	case PLRU:
 		c.plruTouch(set, w)
 	case SRRIP:
-		ways[w].lru = 0 // promote to near-immediate re-reference
+		c.sets[base+w].lru = 0 // promote to near-immediate re-reference
 	case Random:
 		// stateless
 	}
 }
 
-// insert initialises replacement metadata for a newly filled way.
-func (c *Cache) insert(set uint64, ways []line, w int) {
+// insert initialises replacement metadata for a newly filled way. For LRU
+// the way is never on the list here: either it was invalid (first fill) or
+// it is the evicted tail, which victim unlinked.
+func (c *Cache) insert(set uint64, base, w int) {
 	switch c.cfg.Policy {
 	case LRU:
-		c.tick++
-		ways[w].lru = c.tick
+		c.lruPushFront(set, base, w)
 	case PLRU:
 		c.plruTouch(set, w)
 	case SRRIP:
-		ways[w].lru = 2 // long re-reference interval on insertion
+		c.sets[base+w].lru = 2 // long re-reference interval on insertion
 	case Random:
 	}
 }
 
-// victim selects the way to replace in the set.
-func (c *Cache) victim(set uint64, ways []line) int {
-	// Invalid ways first, for every policy.
-	for w := range ways {
-		if !ways[w].valid {
-			return w
-		}
+// victim selects the way to replace in the set. It is only called on the
+// miss path, and the caller always refills the returned way immediately.
+func (c *Cache) victim(set uint64, base int, ways []line) int {
+	// Invalid ways first, for every policy: fills land at increasing way
+	// indices, so the first invalid way is exactly fillCount.
+	if f := int(c.fillCount[set]); f < c.cfg.Ways {
+		return f
 	}
 	switch c.cfg.Policy {
 	case LRU:
-		best, bestTick := 0, ways[0].lru
-		for w := 1; w < len(ways); w++ {
-			if ways[w].lru < bestTick {
-				best, bestTick = w, ways[w].lru
-			}
+		// The recency-list tail; unlink it here so insert can push the
+		// refilled way back to the front unconditionally.
+		w := int(c.lruTail[set])
+		p := c.lruPrev[base+w]
+		c.lruTail[set] = p
+		if p >= 0 {
+			c.lruNext[base+int(p)] = -1
+		} else {
+			c.lruHead[set] = -1
 		}
-		return best
+		return w
 	case PLRU:
 		return c.plruVictim(set)
 	case SRRIP:
@@ -318,6 +447,35 @@ func (c *Cache) victim(set uint64, ways []line) int {
 		return c.rand.Intn(len(ways))
 	}
 	return 0
+}
+
+// lruPushFront links w (currently unlinked) at the head of set's recency
+// list.
+func (c *Cache) lruPushFront(set uint64, base, w int) {
+	h := c.lruHead[set]
+	c.lruNext[base+w] = h
+	c.lruPrev[base+w] = -1
+	if h >= 0 {
+		c.lruPrev[base+int(h)] = int16(w)
+	} else {
+		c.lruTail[set] = int16(w)
+	}
+	c.lruHead[set] = int16(w)
+}
+
+// lruMoveFront moves an on-list way to the head of set's recency list.
+func (c *Cache) lruMoveFront(set uint64, base, w int) {
+	if int(c.lruHead[set]) == w {
+		return
+	}
+	p, n := c.lruPrev[base+w], c.lruNext[base+w] // p >= 0: w is not the head
+	c.lruNext[base+int(p)] = n
+	if n >= 0 {
+		c.lruPrev[base+int(n)] = p
+	} else {
+		c.lruTail[set] = p
+	}
+	c.lruPushFront(set, base, w)
 }
 
 // plruTouch flips the tree bits along w's path so the path points away.

@@ -12,6 +12,9 @@ type Prefetcher interface {
 	// power-on state, so concurrent hierarchy replicas built from one shared
 	// HierarchyConfig do not share stride/confidence state.
 	Fork() Prefetcher
+	// Reset returns the prefetcher to its power-on state in place, without
+	// allocating. Equivalent to replacing it with Fork()'s result.
+	Reset()
 }
 
 // NextLinePrefetcher fetches addr+LineB on every demand miss.
@@ -33,6 +36,9 @@ func (p *NextLinePrefetcher) Observe(addr uint64, miss bool, target Level) {
 func (p *NextLinePrefetcher) Fork() Prefetcher {
 	return &NextLinePrefetcher{LineB: p.LineB}
 }
+
+// Reset implements Prefetcher.
+func (p *NextLinePrefetcher) Reset() { p.Issued = 0 }
 
 // StridePrefetcher detects a constant line stride over recent accesses and
 // runs ahead by Degree lines once locked.
@@ -76,6 +82,14 @@ func (p *StridePrefetcher) Observe(addr uint64, miss bool, target Level) {
 // Fork implements Prefetcher.
 func (p *StridePrefetcher) Fork() Prefetcher {
 	return &StridePrefetcher{LineB: p.LineB, Degree: p.Degree}
+}
+
+// Reset implements Prefetcher.
+func (p *StridePrefetcher) Reset() {
+	p.Issued = 0
+	p.last = 0
+	p.stride = 0
+	p.conf = 0
 }
 
 // HierarchyConfig describes the full simulated memory system.
@@ -181,8 +195,94 @@ func (h *Hierarchy) Fetch(addr uint64) {
 	h.L1I.Access(addr, Fetch)
 }
 
+// LoadRun issues n demand loads over the consecutive lines starting at base
+// (which must be line-aligned). zero, when non-nil, marks per line whether
+// its content is all zero, in which case the ZCA front-end absorbs it. The
+// run is behaviour-identical to n Load calls. Per-line event order —
+// translate, then ZCA check, then L1D access, then prefetcher observation —
+// is part of the contract, because DTLB walks inject page-table traffic into
+// the L2 and reordering them against demand fills would change its state and
+// therefore the counts. The run is therefore processed one page segment at a
+// time: the segment's translations run first (only the first can miss and
+// walk; the rest are guaranteed hits with no L2 side effects, so hoisting
+// them above the segment's data accesses is invisible), then the segment's
+// data accesses — which keeps every walk ordered against demand traffic
+// exactly as the scalar interleaving would.
+func (h *Hierarchy) LoadRun(base uint64, n int, zero []bool) {
+	lineB := uint64(h.L1D.cfg.LineB)
+	dtlb, l1d, pf := h.DTLB, h.L1D, h.prefetcher
+	addr, i := base, 0
+	for i < n {
+		k := n - i
+		if dtlb != nil {
+			if linesLeft := int((dtlb.pageEnd(addr) - addr) / lineB); linesLeft < k {
+				k = linesLeft
+			}
+			dtlb.TranslateRun(addr, lineB, k)
+		}
+		if zero == nil && pf == nil {
+			// Weight streams: no ZCA mask, no prefetcher — hand the whole
+			// segment to the tight tag-walking loop.
+			l1d.AccessRun(addr, k, Load)
+			addr += uint64(k) * lineB
+		} else {
+			for j := 0; j < k; j++ {
+				if zero != nil && zero[i+j] {
+					h.ZeroLoads++
+				} else if pf != nil {
+					before := l1d.stats.Misses
+					l1d.Access(addr, Load)
+					pf.Observe(addr, l1d.stats.Misses != before, l1d)
+				} else {
+					l1d.Access(addr, Load)
+				}
+				addr += lineB
+			}
+		}
+		i += k
+	}
+}
+
+// StoreRun issues n demand stores over the consecutive lines starting at
+// base, behaviour-identical to n Store calls (see LoadRun for the page-
+// segment ordering argument).
+func (h *Hierarchy) StoreRun(base uint64, n int, zero []bool) {
+	lineB := uint64(h.L1D.cfg.LineB)
+	dtlb, l1d := h.DTLB, h.L1D
+	addr, i := base, 0
+	for i < n {
+		k := n - i
+		if dtlb != nil {
+			if linesLeft := int((dtlb.pageEnd(addr) - addr) / lineB); linesLeft < k {
+				k = linesLeft
+			}
+			dtlb.TranslateRun(addr, lineB, k)
+		}
+		if zero == nil {
+			l1d.AccessRun(addr, k, Store)
+			addr += uint64(k) * lineB
+		} else {
+			for j := 0; j < k; j++ {
+				if zero[i+j] {
+					h.ZeroStores++
+				} else {
+					l1d.Access(addr, Store)
+				}
+				addr += lineB
+			}
+		}
+		i += k
+	}
+}
+
+// FetchRun issues n instruction fetches over the consecutive lines starting
+// at base.
+func (h *Hierarchy) FetchRun(base uint64, n int) {
+	h.L1I.AccessRun(base, n, Fetch)
+}
+
 // Reset returns every level (and the ZCA counters) to a cold state. The
-// prefetcher is re-forked to its power-on state so that stride/confidence
+// prefetcher is reset to its power-on state so that stride/confidence
 // carry-over cannot leak one measurement's access pattern into the next —
 // each post-Reset run is a pure function of the inference it observes.
 func (h *Hierarchy) Reset() {
@@ -191,7 +291,7 @@ func (h *Hierarchy) Reset() {
 	h.L2.Reset()
 	h.LLC.Reset()
 	if h.prefetcher != nil {
-		h.prefetcher = h.prefetcher.Fork()
+		h.prefetcher.Reset()
 	}
 	if h.DTLB != nil {
 		h.DTLB.Reset()

@@ -1,0 +1,269 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+
+	"advhunter/internal/rng"
+)
+
+// recLevel records every transaction it absorbs, in order. It also exercises
+// the non-devirtualised Next path (it is not a *Cache).
+type recLevel struct {
+	events []recEvent
+}
+
+type recEvent struct {
+	addr uint64
+	kind AccessKind
+}
+
+func (r *recLevel) Access(addr uint64, kind AccessKind) {
+	r.events = append(r.events, recEvent{addr, kind})
+}
+
+// TestAccessRunMatchesScalar drives one cache with AccessRun and a twin with
+// the per-line Access loop over an adversarial mixed schedule, for every
+// policy, and requires identical statistics AND an identical downstream
+// transaction sequence — the strongest observable equivalence the model has.
+func TestAccessRunMatchesScalar(t *testing.T) {
+	for _, pol := range []Policy{LRU, PLRU, SRRIP, Random} {
+		cfg := Config{Name: "t", SizeB: 1024, Ways: 4, LineB: 64, Policy: pol, Seed: 7}
+		runNext, scalNext := &recLevel{}, &recLevel{}
+		run, scal := New(cfg, runNext), New(cfg, scalNext)
+		r := rng.New(99)
+		for step := 0; step < 400; step++ {
+			base := uint64(r.Intn(1<<14)) &^ 63
+			n := 1 + r.Intn(9)
+			kind := Load
+			switch r.Intn(3) {
+			case 1:
+				kind = Store
+			case 2:
+				kind = Fetch
+			}
+			run.AccessRun(base, n, kind)
+			for i := 0; i < n; i++ {
+				scal.Access(base+uint64(i*64), kind)
+			}
+		}
+		if run.Stats() != scal.Stats() {
+			t.Fatalf("%v: run stats %+v != scalar %+v", pol, run.Stats(), scal.Stats())
+		}
+		if !reflect.DeepEqual(runNext.events, scalNext.events) {
+			t.Fatalf("%v: downstream transaction sequences diverge", pol)
+		}
+	}
+}
+
+// TestHierarchyRunsMatchScalar pins LoadRun/StoreRun/FetchRun to the per-line
+// Load/Store/Fetch calls across policies, prefetchers, zero masks, and the
+// page-crossing runs that exercise the TLB bulk-accounting path.
+func TestHierarchyRunsMatchScalar(t *testing.T) {
+	pfs := []func() Prefetcher{
+		func() Prefetcher { return nil },
+		func() Prefetcher { return &NextLinePrefetcher{LineB: 64} },
+		func() Prefetcher { return &StridePrefetcher{LineB: 64, Degree: 2} },
+	}
+	for _, pol := range []Policy{LRU, PLRU, SRRIP, Random} {
+		for pi, mk := range pfs {
+			cfg := DefaultHierarchyConfig()
+			cfg.L1I.Policy = pol
+			cfg.L1D.Policy = pol
+			cfg.L2.Policy = pol
+			cfg.LLC.Policy = pol
+			cfg.L1DPrefetcher = mk()
+			hr, hs := NewHierarchy(cfg), NewHierarchy(cfg)
+			r := rng.New(uint64(pi)*131 + 5)
+			for step := 0; step < 120; step++ {
+				// Long runs cross 4 KiB pages (64 lines of 64 B).
+				base := uint64(r.Intn(1<<18)) &^ 63
+				n := 1 + r.Intn(100)
+				var zero []bool
+				if r.Intn(2) == 0 {
+					zero = make([]bool, n)
+					for i := range zero {
+						zero[i] = r.Intn(3) == 0
+					}
+				}
+				switch r.Intn(3) {
+				case 0:
+					hr.LoadRun(base, n, zero)
+					for i := 0; i < n; i++ {
+						hs.Load(base+uint64(i*64), zero != nil && zero[i])
+					}
+				case 1:
+					hr.StoreRun(base, n, zero)
+					for i := 0; i < n; i++ {
+						hs.Store(base+uint64(i*64), zero != nil && zero[i])
+					}
+				case 2:
+					hr.FetchRun(base, n)
+					for i := 0; i < n; i++ {
+						hs.Fetch(base + uint64(i*64))
+					}
+				}
+			}
+			for _, pair := range []struct {
+				name     string
+				run, sca Stats
+			}{
+				{"L1I", hr.L1I.Stats(), hs.L1I.Stats()},
+				{"L1D", hr.L1D.Stats(), hs.L1D.Stats()},
+				{"L2", hr.L2.Stats(), hs.L2.Stats()},
+				{"LLC", hr.LLC.Stats(), hs.LLC.Stats()},
+			} {
+				if pair.run != pair.sca {
+					t.Fatalf("%v pf%d %s: run %+v != scalar %+v", pol, pi, pair.name, pair.run, pair.sca)
+				}
+			}
+			if hr.DTLB.Stats() != hs.DTLB.Stats() {
+				t.Fatalf("%v pf%d dTLB: run %+v != scalar %+v", pol, pi, hr.DTLB.Stats(), hs.DTLB.Stats())
+			}
+			if hr.ZeroLoads != hs.ZeroLoads || hr.ZeroStores != hs.ZeroStores {
+				t.Fatalf("%v pf%d ZCA: run %d/%d != scalar %d/%d",
+					pol, pi, hr.ZeroLoads, hr.ZeroStores, hs.ZeroLoads, hs.ZeroStores)
+			}
+			if hr.Mem.Accesses != hs.Mem.Accesses {
+				t.Fatalf("%v pf%d DRAM: run %d != scalar %d", pol, pi, hr.Mem.Accesses, hs.Mem.Accesses)
+			}
+		}
+	}
+}
+
+// TestSRRIPRetouchPromotion verifies that a hit resets a line's re-reference
+// prediction to near-immediate (RRPV 0) while untouched lines age: after the
+// set fills, the re-touched line must survive the next two victim selections
+// and the never-retouched insertion-RRPV lines must go first.
+func TestSRRIPRetouchPromotion(t *testing.T) {
+	// 1 set × 4 ways: SizeB = 4 * 64, line addresses collide in set 0.
+	c := New(Config{Name: "t", SizeB: 256, Ways: 4, LineB: 64, Policy: SRRIP}, &Memory{})
+	line := func(i int) uint64 { return uint64(i) << 6 }
+	for i := 0; i < 4; i++ {
+		c.Access(line(i), Load) // fill; RRPV 2 each
+	}
+	c.Access(line(0), Load) // re-touch: RRPV 0
+	// Miss: aging raises {1,2,3} to 3 before line 0 reaches it; way 1 evicts.
+	c.Access(line(4), Load)
+	c.Access(line(0), Load)
+	c.Access(line(1), Load) // miss: line 1 was evicted, and evicts another aged way
+	st := c.Stats()
+	if st.Hits != 2 {
+		t.Fatalf("retouches should both hit, stats %+v", st)
+	}
+	c.Access(line(0), Load)
+	if got := c.Stats().Hits; got != 3 {
+		t.Fatalf("promoted line 0 must survive both evictions, stats %+v", c.Stats())
+	}
+}
+
+// TestPLRUHitAndFillFlipBits verifies the tree-PLRU bit updates are the same
+// on hit and on fill — both must point the tree away from the touched way —
+// by checking which way the next victim selection picks.
+func TestPLRUHitAndFillFlipBits(t *testing.T) {
+	// 1 set × 4 ways. Tree: bit0 root, bit1 left pair (ways 0,1), bit2 right
+	// pair (ways 2,3).
+	mk := func() *Cache {
+		return New(Config{Name: "t", SizeB: 256, Ways: 4, LineB: 64, Policy: PLRU}, &Memory{})
+	}
+	line := func(i int) uint64 { return uint64(i) << 6 }
+
+	// Fill path: after filling 0,1,2,3 in order the last touch (way 3) points
+	// the tree left-left, so the victim is way 0.
+	c := mk()
+	for i := 0; i < 4; i++ {
+		c.Access(line(i), Load)
+	}
+	c.Access(line(4), Load) // evicts way 0
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("expected one eviction, stats %+v", c.Stats())
+	}
+	c.Access(line(0), Load)
+	if c.Stats().Misses != 6 {
+		t.Fatalf("line 0 must have been the victim (miss on re-access), stats %+v", c.Stats())
+	}
+
+	// Hit path: same fill, then a hit on way 0 re-points the tree; the victim
+	// becomes way 2 (root flipped right, right-pair bit points at 2).
+	c = mk()
+	for i := 0; i < 4; i++ {
+		c.Access(line(i), Load)
+	}
+	c.Access(line(0), Load) // hit flips the same bits a fill would
+	c.Access(line(4), Load) // evicts way 2
+	c.Access(line(2), Load) // must miss
+	c.Access(line(0), Load) // must hit — way 0 was protected by its hit
+	st := c.Stats()
+	if st.Misses != 6 || st.Hits != 2 {
+		t.Fatalf("hit-path PLRU update wrong: stats %+v", st)
+	}
+}
+
+// TestDirtyVictimWriteBackOrdering verifies the run path preserves the exact
+// downstream transaction order on dirty evictions: write-back of the victim
+// line first, then the fill of the missing line, for each line in run order.
+func TestDirtyVictimWriteBackOrdering(t *testing.T) {
+	// 1 set × 2 ways, LRU: deterministic victims.
+	next := &recLevel{}
+	c := New(Config{Name: "t", SizeB: 128, Ways: 2, LineB: 64, Policy: LRU}, next)
+	line := func(i int) uint64 { return uint64(i) << 6 }
+	c.AccessRun(line(0), 2, Store) // dirty-fill ways 0 and 1
+	next.events = nil
+	// Both lines of this run evict a dirty line; each must emit write-back
+	// then fill, in run order.
+	c.AccessRun(line(2), 2, Load)
+	want := []recEvent{
+		{line(0), Store}, // write-back of victim 0
+		{line(2), Load},  // fill
+		{line(1), Store}, // write-back of victim 1
+		{line(3), Load},  // fill
+	}
+	if !reflect.DeepEqual(next.events, want) {
+		t.Fatalf("transaction order = %v, want %v", next.events, want)
+	}
+	if st := c.Stats(); st.WriteBacks != 2 || st.Evictions != 2 {
+		t.Fatalf("stats %+v, want 2 write-backs / 2 evictions", st)
+	}
+}
+
+// TestCacheAccessZeroAlloc gates the steady-state allocation behaviour of the
+// demand-access paths: after warm-up, neither Access nor AccessRun may touch
+// the heap.
+func TestCacheAccessZeroAlloc(t *testing.T) {
+	for _, pol := range []Policy{LRU, PLRU, SRRIP, Random} {
+		c, _ := smallCache(pol)
+		r := rng.New(3)
+		addrs := make([]uint64, 512)
+		for i := range addrs {
+			addrs[i] = uint64(r.Intn(1 << 15))
+		}
+		probe := func() {
+			for _, a := range addrs {
+				c.Access(a, Load)
+			}
+			c.AccessRun(0x4000, 32, Store)
+		}
+		probe() // warm up
+		if allocs := testing.AllocsPerRun(10, probe); allocs != 0 {
+			t.Fatalf("%v: %v allocs/run, want 0", pol, allocs)
+		}
+	}
+}
+
+// TestHierarchyRunZeroAlloc gates the run-granular hierarchy entry points.
+func TestHierarchyRunZeroAlloc(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	zero := make([]bool, 128)
+	for i := range zero {
+		zero[i] = i%3 == 0
+	}
+	probe := func() {
+		h.LoadRun(0, 128, zero)
+		h.StoreRun(1<<14, 128, nil)
+		h.FetchRun(1<<16, 16)
+	}
+	probe()
+	if allocs := testing.AllocsPerRun(10, probe); allocs != 0 {
+		t.Fatalf("%v allocs/run, want 0", allocs)
+	}
+}

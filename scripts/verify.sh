@@ -2,9 +2,10 @@
 # Repository verification: formatting and vet gates, the tier-1 build+test
 # gate, plus the race-detector pass over the packages that fan out over
 # goroutines (the measurement pipeline, its engine replicas, the parallel
-# primitive, the detector evaluator, and the online serving layer).
+# primitive, the detector evaluator, and the online serving layer) and over
+# the cache run-path differential tests, which must also hold under -race.
 # Full ./... under -race is too slow for CI; the concurrency all lives
-# behind these five packages.
+# behind these packages.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -29,8 +30,11 @@ go vet ./examples/...
 echo "== test =="
 go test ./...
 
-echo "== race (parallel pipeline + detection + serving + observability) =="
-go test -race ./internal/parallel ./internal/core ./internal/engine ./internal/detect ./internal/serve ./internal/obs
+echo "== race (parallel pipeline + detection + serving + observability + cache runs) =="
+go test -race ./internal/parallel ./internal/core ./internal/engine ./internal/detect ./internal/serve ./internal/obs ./internal/uarch/cache
+
+echo "== bench smoke (compile + one iteration of every benchmark) =="
+go test -run=NONE -bench=. -benchtime=1x ./...
 
 echo "== serve smoke (/metrics + pprof + graceful drain) =="
 smoketmp="$(mktemp -d)"
