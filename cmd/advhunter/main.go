@@ -11,7 +11,8 @@
 //	advhunter attack -scenario S2 -kind fgsm -eps 0.5 -targeted [-n 60]
 //	advhunter fit -scenario S2 -detector FILE [-backend kde]
 //	advhunter scan -scenario S2 [-n 20] [-detector FILE] [-backend gmm]
-//	advhunter serve -scenario S2 -addr :8080 [-detector FILE] [-backend gmm]
+//	advhunter twin-profile -scenario S2 [-dir artifacts/twin] [-knots 16] [-force]
+//	advhunter serve -scenario S2 -addr :8080 [-detector FILE] [-backend gmm] [-tier auto]
 package main
 
 import (
@@ -21,11 +22,13 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net"
 	"net/http"
 	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"syscall"
@@ -37,6 +40,7 @@ import (
 	"advhunter/internal/obs"
 	"advhunter/internal/parallel"
 	"advhunter/internal/serve"
+	"advhunter/internal/twin"
 	"advhunter/internal/uarch/hpc"
 )
 
@@ -68,6 +72,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdFit(args[1:], stdout, stderr)
 	case "scan":
 		err = cmdScan(args[1:], stdout, stderr)
+	case "twin-profile":
+		err = cmdTwinProfile(args[1:], stdout, stderr)
 	case "serve":
 		err = cmdServe(args[1:], stdout, stderr)
 	case "-h", "--help", "help":
@@ -99,6 +105,7 @@ commands:
   attack      craft adversarial examples and report attack statistics
   fit         fit a detector backend and save the artifact (-detector FILE)
   scan        run the deployed pipeline on test images and print decisions
+  twin-profile  precompute the analytical-twin count tables for a scenario
   serve       run the online detection service (HTTP JSON, /detect)
 
 run 'advhunter <command> -h' for flags.`)
@@ -461,6 +468,77 @@ func cmdScan(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// cmdTwinProfile precomputes the analytical-twin count tables for one
+// scenario and writes them where tiered serving looks first, so a later
+// `serve -tier twin|auto` boots without paying the profiling sweep. The
+// probe workload is Env.TwinProbes — identical to what serve would profile
+// on a miss — so the precomputed table and an on-demand one are the same
+// table.
+func cmdTwinProfile(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("twin-profile", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scenario := fs.String("scenario", "S2", "scenario id (defines the profiled model)")
+	dir := fs.String("dir", "artifacts/twin", "table directory (one <scenario>.gob per scenario)")
+	knots := fs.Int("knots", twin.DefaultKnots, "sparsity buckets per layer curve")
+	force := fs.Bool("force", false, "re-profile even when a fresh table exists")
+	copts := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := copts.logger(stderr); err != nil {
+		return err
+	}
+	env, err := experiments.LoadEnv(*scenario, copts.options())
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(*dir, env.Scn.ID+".gob")
+	if *force {
+		if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	tab, loaded, err := twin.LoadOrProfile(path, env.Meas.Engine.Clone(), env.TwinProbes, *knots, env.Opts.Workers)
+	if err != nil {
+		return err
+	}
+	verb := "profiled"
+	if loaded {
+		verb = "already fresh"
+	}
+	fmt.Fprintf(stdout, "twin table for %s %s at %s\n", env.Scn.ID, verb, path)
+	fmt.Fprintf(stdout, "%d layers × %d knots from %d probes (%d bytes)\n",
+		len(tab.Layers), tab.Knots, tab.Probes, tab.Bytes())
+
+	// Self-check: predict a few held-out validation inputs and compare
+	// against the exact simulator, so a bad table is caught at build time
+	// rather than at serve time.
+	tm, err := twin.FromMeasurer(env.Meas, tab)
+	if err != nil {
+		return err
+	}
+	pool := env.ValidationPool()
+	n := 16
+	if n > len(pool) {
+		n = len(pool)
+	}
+	var worst float64
+	worstEv := hpc.Instructions
+	for _, s := range pool[:n] {
+		pred := tm.Truth(s.X)
+		_, truth := env.Meas.Engine.Infer(s.X)
+		for _, ev := range hpc.CoreEvents() {
+			rel := math.Abs(pred.Counts.Get(ev)-truth.Get(ev)) / math.Max(truth.Get(ev), 1)
+			if rel > worst {
+				worst, worstEv = rel, ev
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "self-check vs exact on %d validation inputs: worst relative error %.4f (%s)\n",
+		n, worst, worstEv)
+	return nil
+}
+
 func cmdServe(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -473,6 +551,9 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request budget including queueing")
 	event := fs.String("event", hpc.CacheMisses.String(), "perf event driving the adversarial verdict")
 	truthCache := fs.Int("truth-cache", 512, "truth-count memoisation cache entries (0 disables)")
+	tier := fs.String("tier", serve.TierExact, "serving tier: exact, twin (analytical twin only), or auto (twin screens, uncertain verdicts escalate to exact)")
+	twinDir := fs.String("twin-dir", "artifacts/twin", "precomputed twin-table directory (tables are profiled on a miss; used when -tier is twin or auto)")
+	margin := fs.Float64("margin", 0.15, "auto-tier escalation band around the detector threshold (0 = default, negative = never escalate)")
 	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof profiling endpoints")
 	copts := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -485,6 +566,11 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	decision, err := hpc.ParseEvent(*event)
 	if err != nil {
 		return err
+	}
+	switch *tier {
+	case serve.TierExact, serve.TierTwin, serve.TierAuto:
+	default:
+		return fmt.Errorf("unknown tier %q (have %s, %s, %s)", *tier, serve.TierExact, serve.TierTwin, serve.TierAuto)
 	}
 	env, err := experiments.LoadEnv(*scenario, copts.options())
 	if err != nil {
@@ -502,7 +588,7 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 		truthSize = -1
 	}
 	dataset := env.Scn.Dataset
-	srv := serve.New(env.Meas, det, serve.Config{
+	cfg := serve.Config{
 		QueueSize:      *queue,
 		Workers:        *copts.workers,
 		MaxBatch:       *maxBatch,
@@ -512,7 +598,28 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 		ClassName:      func(c int) string { return data.ClassName(dataset, c) },
 		Logger:         logger,
 		TruthCacheSize: truthSize,
-	})
+	}
+	if *tier != serve.TierExact {
+		dcfg, err := dopts.config()
+		if err != nil {
+			return err
+		}
+		// The twin screens with a detector of the same backend as the exact
+		// tier's, recalibrated on twin-measured counts (TwinBackend explains
+		// why thresholds fitted on exact counts would misfire on twin
+		// readings). The table loads from -twin-dir when fresh — write it
+		// ahead of time with `advhunter twin-profile` — and is silently
+		// re-profiled on any model/machine hash mismatch.
+		tm, tdet, _, err := env.TwinBackend(filepath.Join(*twinDir, env.Scn.ID+".gob"), twin.DefaultKnots, det.Kind(), dcfg)
+		if err != nil {
+			return err
+		}
+		cfg.Tier = *tier
+		cfg.Twin = tm
+		cfg.TwinDetector = tdet
+		cfg.EscalationMargin = *margin
+	}
+	srv := serve.New(env.Meas, det, cfg)
 	handler := http.Handler(srv.Handler())
 	if *pprofOn {
 		// Profiling endpoints are opt-in: the detection service faces query
@@ -544,8 +651,8 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	}()
 	// Print the listener's actual address: with ":0" the kernel picks the
 	// port, and scripted callers (scripts/servesmoke) parse this line.
-	fmt.Fprintf(stdout, "serving %s (%s × %s) on %s — POST /detect, GET /healthz /readyz /metrics\n",
-		env.Scn.ID, env.Scn.Dataset, env.Scn.Arch, ln.Addr())
+	fmt.Fprintf(stdout, "serving %s (%s × %s, tier %s) on %s — POST /detect, GET /healthz /readyz /metrics\n",
+		env.Scn.ID, env.Scn.Dataset, env.Scn.Arch, *tier, ln.Addr())
 
 	select {
 	case err := <-errc:

@@ -92,6 +92,21 @@ func TestDispatch(t *testing.T) {
 			wantCode: 1, wantStderr: "unknown event",
 		},
 		{
+			name:     "serve rejects unknown tier",
+			args:     []string{"serve", "-tier", "warp"},
+			wantCode: 1, wantStderr: `unknown tier "warp"`,
+		},
+		{
+			name:     "twin-profile -h lists its flags",
+			args:     []string{"twin-profile", "-h"},
+			wantCode: 0, wantStderr: "-knots",
+		},
+		{
+			name:     "twin-profile rejects unknown scenario",
+			args:     []string{"twin-profile", "-scenario", "S9", "-cache", ""},
+			wantCode: 1, wantStderr: "unknown scenario",
+		},
+		{
 			name:     "train rejects unknown scenario",
 			args:     []string{"train", "-scenario", "S9", "-cache", ""},
 			wantCode: 1, wantStderr: "unknown scenario",

@@ -1,0 +1,21 @@
+package core
+
+import "advhunter/internal/uarch/hpc"
+
+// NoiseStream replays the measurement protocol's per-sample noise re-keying
+// for measurement backends outside this package (the analytical twin): the
+// sampler it returns for index i is positioned on exactly the stream
+// Measurer.MeasureAt(i, ·) draws from, so a backend that pairs it with its
+// own truth counts follows the protocol reading for reading. Like the
+// scratch a Measurer embeds, a NoiseStream is single-goroutine; give each
+// worker its own. The zero value is ready to use.
+type NoiseStream struct {
+	scratch noiseScratch
+}
+
+// SamplerAt rewinds the stream to sample index i's noise — a pure function
+// of (model, seed, i) — and returns the positioned sampler. The sampler is
+// reused across calls; steady-state use allocates nothing.
+func (s *NoiseStream) SamplerAt(model hpc.NoiseModel, seed, i uint64) *hpc.Sampler {
+	return s.scratch.at(model, seed, i)
+}

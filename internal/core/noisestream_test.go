@@ -1,0 +1,30 @@
+package core
+
+import (
+	"testing"
+
+	"advhunter/internal/engine"
+)
+
+// TestNoiseStreamMatchesMeasurer pins the exported noise protocol: a backend
+// that computes its own truth counts and draws readings through a
+// NoiseStream must reproduce Measurer.MeasureAt bit for bit.
+func TestNoiseStreamMatchesMeasurer(t *testing.T) {
+	samples, model := detFixture()
+	m := NewMeasurer(engine.NewDefault(model.Clone()), 42)
+	eng := engine.NewDefault(model.Clone())
+	var ns NoiseStream
+	for i, s := range samples[:6] {
+		want := m.MeasureAt(uint64(i), s.X)
+		pred, conf, truth := eng.InferConf(s.X)
+		got := Measurement{
+			Pred:      pred,
+			TrueLabel: -1,
+			Counts:    ns.SamplerAt(m.Noise, m.Seed, uint64(i)).MeasureMean(truth, m.R),
+			Conf:      conf,
+		}
+		if got != want {
+			t.Fatalf("sample %d: NoiseStream measurement %+v, MeasureAt %+v", i, got, want)
+		}
+	}
+}

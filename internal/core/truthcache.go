@@ -139,6 +139,23 @@ func (c *TruthCache) Len() int {
 	return len(c.index)
 }
 
+// Bytes reports the cache's approximate resident size: the slot array
+// (fingerprint, truth, recency links) plus a per-entry share of the index
+// map. It is an accounting estimate for capacity planning — the
+// advhunter_*_cache_bytes gauges — not an exact heap measurement.
+func (c *TruthCache) Bytes() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// One slot: fp (8) + Truth{Pred, Conf, Counts} (16 + 8·NumEvents) +
+	// prev/next (16). One index entry: key + value + bucket overhead ≈ 48.
+	const slotBytes = 8 + 16 + 8*int(hpc.NumEvents) + 16
+	const indexBytes = 48
+	return len(c.slots)*slotBytes + len(c.index)*indexBytes
+}
+
 // Stats returns a snapshot of the hit/miss counters.
 func (c *TruthCache) Stats() TruthCacheStats {
 	if c == nil {

@@ -31,6 +31,15 @@ type Engine struct {
 	touts slicePool[*tensor.Tensor]
 	rgz   []bool
 	pair  [2]*tensor.Tensor
+
+	// Profiling hook (nil outside InferProfile): per-leaf samples of the
+	// machine counters taken at leaf entry, consumed by InferProfile.
+	prof []leafSample
+
+	// ForwardStats walk state. Kept on the engine rather than threaded
+	// through the recursion so the stats walker stays allocation-free.
+	statSp  []float64
+	statIdx int
 }
 
 // New builds an engine for the model on the configured machine.
@@ -196,6 +205,9 @@ func (e *Engine) concat(outs []*tensor.Tensor) *tensor.Tensor {
 // traceLayer dispatches on the concrete layer type, reproducing the
 // layer's data flow on the machine and returning the placed output.
 func (e *Engine) traceLayer(l nn.Layer, in tref) tref {
+	if e.prof != nil {
+		e.profObserve(l, in)
+	}
 	switch l := l.(type) {
 	case *nn.Sequential:
 		for _, sub := range l.Layers {

@@ -52,6 +52,7 @@ var Registry = map[string]Entry{
 	"control-noise":        {"control-noise", "Random-noise control: noisy ≠ adversarial (extension)", wrap(ControlNoise)},
 	"adaptive-attacker":    {"adaptive-attacker", "AdvHunter-aware adaptive attacker sweep (extension)", wrap(AblationAdaptive)},
 	"backend-comparison":   {"backend-comparison", "Every registered detector backend on one workload (extension)", wrap(BackendComparison)},
+	"twin-accuracy":        {"twin-accuracy", "Analytical twin vs exact simulator: prediction error and tiered TPR/FPR (extension)", wrap(TwinAccuracy)},
 }
 
 // IDs returns the registered experiment identifiers in stable order.

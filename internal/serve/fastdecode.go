@@ -1,0 +1,258 @@
+package serve
+
+import "strconv"
+
+// fastDecodeRequest is the hot-path scanner for the canonical request wire
+// form: one object with "shape", "data" and optionally "index" keys, plain
+// strings, plain JSON numbers. It is deliberately narrower than JSON — any
+// construct it does not recognise (escapes, duplicate or unknown keys,
+// non-canonical numbers, trailing content) returns ok=false and the caller
+// re-decodes with the reference encoding/json path. The invariant that keeps
+// the two paths interchangeable: every body the scanner accepts is a body
+// the reference decoder accepts with bit-identical values (numbers go
+// through the same strconv parsing, and the grammar checks below admit only
+// valid JSON number literals).
+func fastDecodeRequest(body []byte, want [3]int) (*Request, bool) {
+	p := reqParser{b: body}
+	if !p.accept('{') {
+		return nil, false
+	}
+	var q Request
+	var sawShape, sawData, sawIndex bool
+	if !p.accept('}') {
+		for {
+			key, ok := p.key()
+			if !ok || !p.accept(':') {
+				return nil, false
+			}
+			switch key {
+			case "shape":
+				if sawShape {
+					return nil, false
+				}
+				sawShape = true
+				if q.Shape, ok = p.ints(); !ok {
+					return nil, false
+				}
+			case "data":
+				if sawData {
+					return nil, false
+				}
+				sawData = true
+				if q.Data, ok = p.floats(want[0] * want[1] * want[2]); !ok {
+					return nil, false
+				}
+			case "index":
+				if sawIndex {
+					return nil, false
+				}
+				sawIndex = true
+				tok, ok := p.number()
+				// A uint64 literal: digits only, no leading zero (the JSON
+				// grammar), no sign, fraction or exponent (the reference
+				// decoder rejects those for integer targets).
+				if !ok || !jsonNumber(tok, false) || tok[0] == '-' {
+					return nil, false
+				}
+				u, err := strconv.ParseUint(string(tok), 10, 64)
+				if err != nil {
+					return nil, false
+				}
+				q.Index = &u
+			default:
+				return nil, false
+			}
+			if p.accept(',') {
+				continue
+			}
+			if p.accept('}') {
+				break
+			}
+			return nil, false
+		}
+	}
+	p.ws()
+	if p.i != len(p.b) {
+		return nil, false
+	}
+	return &q, true
+}
+
+type reqParser struct {
+	b []byte
+	i int
+}
+
+func (p *reqParser) ws() {
+	for p.i < len(p.b) {
+		switch p.b[p.i] {
+		case ' ', '\t', '\n', '\r':
+			p.i++
+		default:
+			return
+		}
+	}
+}
+
+// accept consumes c (after whitespace) if it is next.
+func (p *reqParser) accept(c byte) bool {
+	p.ws()
+	if p.i < len(p.b) && p.b[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// key scans a plain object key: a quoted string with no escapes or control
+// bytes (canonical keys are ASCII identifiers).
+func (p *reqParser) key() (string, bool) {
+	if !p.accept('"') {
+		return "", false
+	}
+	start := p.i
+	for p.i < len(p.b) {
+		c := p.b[p.i]
+		if c == '"' {
+			k := string(p.b[start:p.i])
+			p.i++
+			return k, true
+		}
+		if c == '\\' || c < 0x20 {
+			return "", false
+		}
+		p.i++
+	}
+	return "", false
+}
+
+// number scans one number token (the characters a JSON number literal can
+// contain); grammar validation is the caller's via jsonNumber.
+func (p *reqParser) number() ([]byte, bool) {
+	p.ws()
+	start := p.i
+	for p.i < len(p.b) {
+		c := p.b[p.i]
+		if (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' {
+			p.i++
+		} else {
+			break
+		}
+	}
+	if p.i == start {
+		return nil, false
+	}
+	return p.b[start:p.i], true
+}
+
+func (p *reqParser) ints() ([]int, bool) {
+	if !p.accept('[') {
+		return nil, false
+	}
+	out := make([]int, 0, 3)
+	if p.accept(']') {
+		return out, true
+	}
+	for {
+		tok, ok := p.number()
+		if !ok || !jsonNumber(tok, false) {
+			return nil, false
+		}
+		v, err := strconv.Atoi(string(tok))
+		if err != nil {
+			return nil, false
+		}
+		out = append(out, v)
+		if len(out) > 8 { // far beyond any valid shape; let the slow path report it
+			return nil, false
+		}
+		if p.accept(',') {
+			continue
+		}
+		if p.accept(']') {
+			return out, true
+		}
+		return nil, false
+	}
+}
+
+func (p *reqParser) floats(hint int) ([]float64, bool) {
+	if !p.accept('[') {
+		return nil, false
+	}
+	out := make([]float64, 0, hint)
+	if p.accept(']') {
+		return out, true
+	}
+	for {
+		tok, ok := p.number()
+		if !ok || !jsonNumber(tok, true) {
+			return nil, false
+		}
+		v, err := strconv.ParseFloat(string(tok), 64)
+		if err != nil { // out of range (1e400); the slow path rejects it too
+			return nil, false
+		}
+		out = append(out, v)
+		if p.accept(',') {
+			continue
+		}
+		if p.accept(']') {
+			return out, true
+		}
+		return nil, false
+	}
+}
+
+// jsonNumber reports whether tok is a valid JSON number literal:
+// -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?, with the fraction and
+// exponent parts admitted only when allowFloat is set.
+func jsonNumber(tok []byte, allowFloat bool) bool {
+	i := 0
+	if i < len(tok) && tok[i] == '-' {
+		i++
+	}
+	if i >= len(tok) {
+		return false
+	}
+	switch {
+	case tok[i] == '0':
+		i++
+	case tok[i] >= '1' && tok[i] <= '9':
+		for i < len(tok) && tok[i] >= '0' && tok[i] <= '9' {
+			i++
+		}
+	default:
+		return false
+	}
+	if i < len(tok) && tok[i] == '.' {
+		if !allowFloat {
+			return false
+		}
+		i++
+		start := i
+		for i < len(tok) && tok[i] >= '0' && tok[i] <= '9' {
+			i++
+		}
+		if i == start {
+			return false
+		}
+	}
+	if i < len(tok) && (tok[i] == 'e' || tok[i] == 'E') {
+		if !allowFloat {
+			return false
+		}
+		i++
+		if i < len(tok) && (tok[i] == '+' || tok[i] == '-') {
+			i++
+		}
+		start := i
+		for i < len(tok) && tok[i] >= '0' && tok[i] <= '9' {
+			i++
+		}
+		if i == start {
+			return false
+		}
+	}
+	return i == len(tok)
+}

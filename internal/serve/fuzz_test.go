@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -44,6 +45,22 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte(strings.Repeat(" ", 64) + `{"shape":[1,4,4],"data":[]}`))
 
 	f.Fuzz(func(t *testing.T, body []byte) {
+		// Differential contract between the decode paths: anything the fast
+		// scanner accepts, the reference decoder must accept with identical
+		// values — the fast path may only narrow the language, never bend it.
+		if fq, ok := fastDecodeRequest(body, want); ok {
+			sq, err := slowDecodeRequest(body)
+			if err != nil {
+				t.Fatalf("fast path accepted a body the reference decoder rejects: %v\nbody: %q", err, body)
+			}
+			if !reflect.DeepEqual(fq.Shape, sq.Shape) || !reflect.DeepEqual(fq.Data, sq.Data) {
+				t.Fatalf("fast path decoded %+v, reference %+v\nbody: %q", fq, sq, body)
+			}
+			if (fq.Index == nil) != (sq.Index == nil) || (fq.Index != nil && *fq.Index != *sq.Index) {
+				t.Fatalf("fast path index %v, reference %v\nbody: %q", fq.Index, sq.Index, body)
+			}
+		}
+
 		req, err := DecodeRequest(body, want)
 		if err != nil {
 			if req != nil {

@@ -6,6 +6,7 @@ import (
 
 	"advhunter/internal/core"
 	"advhunter/internal/obs"
+	"advhunter/internal/twin"
 	"advhunter/internal/uarch/hpc"
 )
 
@@ -50,6 +51,17 @@ type metrics struct {
 	// Truth-count memoisation (registered only when the cache is enabled).
 	truthHits   *obs.Counter
 	truthMisses *obs.Counter
+
+	// Tiered serving (registered only under the twin and auto tiers).
+	tierTwin         *obs.Counter // requests decided by the twin tier
+	tierExact        *obs.Counter // requests decided by the exact tier (escalations)
+	tierScreened     *obs.Counter // auto tier: requests screened by the twin
+	tierEscalations  *obs.Counter // auto tier: screened requests escalated to exact
+	tierAgreement    *obs.Counter // auto tier: escalations where both tiers agreed
+	tierSecondsTwin  *obs.Histogram
+	tierSecondsExact *obs.Histogram
+	twinTruthHits    *obs.Counter
+	twinTruthMisses  *obs.Counter
 }
 
 func newMetrics(backend string, channels []string) *metrics {
@@ -137,6 +149,42 @@ func (m *metrics) registerTruthCache(c *core.TruthCache) {
 		"Queries that paid a simulated inference to fill the truth cache.").With()
 	m.reg.GaugeFunc("advhunter_truth_cache_entries",
 		"Resident truth-cache entries.", func() float64 { return float64(c.Len()) })
+	m.reg.GaugeFunc("advhunter_truth_cache_bytes",
+		"Approximate resident size of the truth cache.", func() float64 { return float64(c.Bytes()) })
+}
+
+// registerTier publishes the tiered-serving series: per-tier decision
+// counters and latency histograms, escalation accounting, the twin table's
+// resident size, and (when the twin truth cache is enabled) its memoisation
+// series. Only called under the twin and auto tiers, so plain exact serving
+// exports no tier series at all.
+func (m *metrics) registerTier(table *twin.Table, twinTruth *core.TruthCache) {
+	tierVec := m.reg.Counter("advhunter_tier_requests_total",
+		"Detection decisions by the measurement tier that made them.", "tier")
+	m.tierTwin = tierVec.With("twin")
+	m.tierExact = tierVec.With("exact")
+	m.tierScreened = m.reg.Counter("advhunter_tier_screened_total",
+		"Auto-tier requests screened by the twin before the tier decision.").With()
+	m.tierEscalations = m.reg.Counter("advhunter_tier_escalations_total",
+		"Auto-tier requests escalated from the twin to the exact simulator.").With()
+	m.tierAgreement = m.reg.Counter("advhunter_tier_agreement_total",
+		"Escalated requests where the twin and exact tiers agreed on the decision.").With()
+	secVec := m.reg.Histogram("advhunter_tier_duration_seconds",
+		"Measure-and-score time by measurement tier.", obs.DurationBuckets, "tier")
+	m.tierSecondsTwin = secVec.With("twin")
+	m.tierSecondsExact = secVec.With("exact")
+	m.reg.GaugeFunc("advhunter_twin_table_bytes",
+		"Resident size of the loaded twin count tables.", func() float64 { return float64(table.Bytes()) })
+	if twinTruth != nil {
+		m.twinTruthHits = m.reg.Counter("advhunter_twin_truth_cache_hits_total",
+			"Twin-tier queries whose predicted counts were served from the twin truth cache.").With()
+		m.twinTruthMisses = m.reg.Counter("advhunter_twin_truth_cache_misses_total",
+			"Twin-tier queries that paid a forward pass to fill the twin truth cache.").With()
+		m.reg.GaugeFunc("advhunter_twin_truth_cache_entries",
+			"Resident twin truth-cache entries.", func() float64 { return float64(twinTruth.Len()) })
+		m.reg.GaugeFunc("advhunter_twin_truth_cache_bytes",
+			"Approximate resident size of the twin truth cache.", func() float64 { return float64(twinTruth.Bytes()) })
+	}
 }
 
 // registerQueueGauges publishes the admission-queue gauges, sampled at

@@ -60,6 +60,13 @@ func (q *Request) Tensor() *tensor.Tensor {
 // unknown fields, wrong shape, wrong element count, non-finite or
 // out-of-range values — returns an error (the handler answers 400); no
 // input may panic.
+//
+// Decoding is the serve hot path's single biggest CPU cost (a CIFAR-shaped
+// body is ~3k JSON floats), so canonical bodies take a hand-rolled strict
+// scanner; anything the scanner is not certain about falls back to the
+// reference encoding/json path, which keeps the accepted language and the
+// decoded values exactly those of the standard decoder
+// (FuzzDecodeRequest differentially enforces this).
 func DecodeRequest(body []byte, want [3]int) (*Request, error) {
 	if len(body) == 0 {
 		return nil, errors.New("empty request body")
@@ -67,6 +74,22 @@ func DecodeRequest(body []byte, want [3]int) (*Request, error) {
 	if len(body) > MaxRequestBytes {
 		return nil, fmt.Errorf("request body is %d bytes, limit %d", len(body), MaxRequestBytes)
 	}
+	q, ok := fastDecodeRequest(body, want)
+	if !ok {
+		var err error
+		if q, err = slowDecodeRequest(body); err != nil {
+			return nil, err
+		}
+	}
+	if err := q.validate(want); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// slowDecodeRequest is the reference decoder: encoding/json with unknown
+// fields disallowed and trailing content rejected.
+func slowDecodeRequest(body []byte) (*Request, error) {
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	var q Request
@@ -78,27 +101,32 @@ func DecodeRequest(body []byte, want [3]int) (*Request, error) {
 	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
 		return nil, errors.New("trailing data after request object")
 	}
+	return &q, nil
+}
+
+// validate applies the shape and range rules shared by both decode paths.
+func (q *Request) validate(want [3]int) error {
 	if len(q.Shape) != 3 {
-		return nil, fmt.Errorf("shape must have 3 dims [C,H,W], got %d", len(q.Shape))
+		return fmt.Errorf("shape must have 3 dims [C,H,W], got %d", len(q.Shape))
 	}
 	for d, s := range q.Shape {
 		if s != want[d] {
-			return nil, fmt.Errorf("shape %v does not match served model %v", q.Shape, want)
+			return fmt.Errorf("shape %v does not match served model %v", q.Shape, want)
 		}
 	}
 	n := want[0] * want[1] * want[2]
 	if len(q.Data) != n {
-		return nil, fmt.Errorf("data has %d values, shape %v needs %d", len(q.Data), q.Shape, n)
+		return fmt.Errorf("data has %d values, shape %v needs %d", len(q.Data), q.Shape, n)
 	}
 	for i, v := range q.Data {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("data[%d] is not finite", i)
+			return fmt.Errorf("data[%d] is not finite", i)
 		}
 		if v < -maxAbsValue || v > maxAbsValue {
-			return nil, fmt.Errorf("data[%d] = %g is out of range", i, v)
+			return fmt.Errorf("data[%d] = %g is out of range", i, v)
 		}
 	}
-	return &q, nil
+	return nil
 }
 
 // Response is one detection decision, mirrored back with the index that
@@ -108,14 +136,18 @@ func DecodeRequest(body []byte, want [3]int) (*Request, error) {
 // byte-identical bodies — the property the determinism tests assert end to
 // end.
 type Response struct {
-	Index          uint64             `json:"index"`
-	PredictedClass int                `json:"predicted_class"`
-	ClassName      string             `json:"class_name,omitempty"`
-	Backend        string             `json:"backend"`
-	Modelled       bool               `json:"modelled"`
-	Adversarial    bool               `json:"adversarial"`
-	Scores         map[string]float64 `json:"scores"`
-	Flags          map[string]bool    `json:"flags"`
+	Index          uint64 `json:"index"`
+	PredictedClass int    `json:"predicted_class"`
+	ClassName      string `json:"class_name,omitempty"`
+	Backend        string `json:"backend"`
+	Modelled       bool   `json:"modelled"`
+	Adversarial    bool   `json:"adversarial"`
+	// Tier names the measurement tier that decided the verdict ("twin" or
+	// "exact"). Present only under tiered serving (Config.Tier twin/auto);
+	// plain exact serving renders byte-identical bodies to earlier versions.
+	Tier   string             `json:"tier,omitempty"`
+	Scores map[string]float64 `json:"scores"`
+	Flags  map[string]bool    `json:"flags"`
 }
 
 // errorResponse is the JSON body of every non-2xx answer.

@@ -21,19 +21,24 @@ import (
 	"advhunter/internal/engine"
 	"advhunter/internal/models"
 	"advhunter/internal/train"
+	"advhunter/internal/twin"
 	"advhunter/internal/uarch/hpc"
 )
 
 // fixture is the shared serving fixture: a trained classifier, a fitted
-// detector, and clean + adversarial query sets. Built once per package run
-// (training dominates the cost).
+// detector, clean + adversarial query sets, and the analytical-twin stack
+// (profiled table, twin measurer, twin-calibrated detector). Built once per
+// package run (training dominates the cost).
 type fixture struct {
-	ds    *data.Dataset
-	meas  *core.Measurer
-	tpl   *core.Template
-	det   *detect.Fitted
-	clean []data.Sample // clean test images
-	adv   []data.Sample // successful targeted FGSM examples
+	ds      *data.Dataset
+	meas    *core.Measurer
+	tpl     *core.Template
+	det     *detect.Fitted
+	clean   []data.Sample // clean test images
+	adv     []data.Sample // successful targeted FGSM examples
+	twinTab *twin.Table
+	twin    *twin.Measurer
+	twinDet *detect.Fitted // fitted on twin-measured validation counts
 }
 
 var (
@@ -43,7 +48,7 @@ var (
 
 const fixTarget = 6 // 'shirt'
 
-func getFixture(t *testing.T) *fixture {
+func getFixture(t testing.TB) *fixture {
 	t.Helper()
 	fixOnce.Do(func() {
 		ds := data.MustSynth("fashionmnist", 77, 40, 20)
@@ -72,12 +77,41 @@ func getFixture(t *testing.T) *fixture {
 		if len(adv) < 20 {
 			return
 		}
-		fix = &fixture{ds: ds, meas: meas, tpl: tpl, det: det, clean: ds.Test, adv: adv}
+		tab, err := twin.Profile(engine.NewDefault(m), twin.Probes(ds.Train, 1, 0.1, 11), 12, 0)
+		if err != nil {
+			return
+		}
+		tm, err := twin.FromMeasurer(meas, tab)
+		if err != nil {
+			return
+		}
+		// The twin screens with a detector calibrated on twin-measured
+		// validation counts: the table predictions carry a small systematic
+		// bias, so thresholds fitted on exact counts would misfire.
+		twinTpl := core.NewTemplate(ds.Classes, hpc.CoreEvents())
+		for _, mm := range twin.MeasureSet(tm.Clone(), ds.Train, 0) {
+			twinTpl.Add(mm.Pred, mm.Counts, mm.Conf)
+		}
+		twinDet, err := detect.Fit("gmm", twinTpl, detect.DefaultConfig())
+		if err != nil {
+			return
+		}
+		fix = &fixture{ds: ds, meas: meas, tpl: tpl, det: det, clean: ds.Test, adv: adv,
+			twinTab: tab, twin: tm, twinDet: twinDet}
 	})
 	if fix == nil {
 		t.Fatal("serve fixture failed to build (training or attack collapsed)")
 	}
 	return fix
+}
+
+// tierConfig returns cfg with the fixture's twin stack plugged in for the
+// given tier, leaving the caller's other knobs intact.
+func (f *fixture) tierConfig(tier string, cfg Config) Config {
+	cfg.Tier = tier
+	cfg.Twin = f.twin.Clone()
+	cfg.TwinDetector = f.twinDet
+	return cfg
 }
 
 // newServer builds a server (and cleanup) around a fresh measurer clone so

@@ -30,6 +30,7 @@ import (
 	"advhunter/internal/obs"
 	"advhunter/internal/parallel"
 	"advhunter/internal/tensor"
+	"advhunter/internal/twin"
 	"advhunter/internal/uarch/hpc"
 )
 
@@ -60,8 +61,34 @@ type Config struct {
 	// cache shared by the replica pool: a repeated query pays the simulated
 	// inference once, and the cached noise-free counts are re-noised per
 	// request index, so responses stay byte-identical to uncached serving.
-	// 0 selects the default (512); negative disables memoisation.
+	// 0 selects the default (512); negative disables memoisation. Under
+	// tiered serving the same size caps the twin tier's separate truth cache
+	// (twin and exact truths differ, so the caches are never shared).
 	TruthCacheSize int
+	// Tier selects the measurement tier (default TierExact). TierTwin
+	// predicts every query's counts from the analytical twin's tables;
+	// TierAuto screens every query with the twin and escalates the
+	// twin-uncertain ones to the exact simulator. Both require Twin; New
+	// panics otherwise (a configuration error, like an unknown tier name).
+	Tier string
+	// Twin is the twin measurement backend (internal/twin) for the twin and
+	// auto tiers. The server takes ownership and clones it across the worker
+	// pool, exactly like the exact measurer.
+	Twin *twin.Measurer
+	// TwinDetector optionally scores twin-tier measurements. The twin's
+	// count predictions carry a small systematic bias relative to the exact
+	// simulator, so screening works best with a detector calibrated on
+	// twin-measured templates (same backend, same template protocol). Its
+	// channel list must equal the main detector's. nil reuses the main
+	// detector.
+	TwinDetector detect.Detector
+	// EscalationMargin is the auto tier's uncertainty band: a twin verdict
+	// escalates to the exact tier when its deciding score lies within
+	// margin·(1+|threshold|) of the decision threshold (detect.Uncertainty).
+	// 0 selects the default 0.15; negative means never uncertain (the twin
+	// decides everything). Detectors that do not implement
+	// detect.Uncertainty escalate every query instead.
+	EscalationMargin float64
 	// Logger receives the server's structured records (per-request debug
 	// lines, span timings). nil selects slog.Default(). Logging and tracing
 	// are observe-only: enabling them never changes a verdict or a response
@@ -73,6 +100,16 @@ type Config struct {
 	// set before New (the dispatcher reads it once at startup).
 	gate chan struct{}
 }
+
+// The measurement tiers of Config.Tier.
+const (
+	// TierExact simulates every query on the exact engine (the default).
+	TierExact = "exact"
+	// TierTwin predicts every query's counts from the twin tables.
+	TierTwin = "twin"
+	// TierAuto screens with the twin and escalates uncertain queries.
+	TierAuto = "auto"
+)
 
 func (c Config) withDefaults() Config {
 	if c.QueueSize <= 0 {
@@ -99,6 +136,12 @@ func (c Config) withDefaults() Config {
 	if c.TruthCacheSize == 0 {
 		c.TruthCacheSize = 512
 	}
+	if c.Tier == "" {
+		c.Tier = TierExact
+	}
+	if c.EscalationMargin == 0 {
+		c.EscalationMargin = 0.15
+	}
 	return c
 }
 
@@ -107,8 +150,16 @@ type job struct {
 	idx   uint64
 	x     *tensor.Tensor
 	ctx   context.Context
-	out   chan detect.Verdict // buffered(1); worker send never blocks
-	qspan *obs.Span           // admission-to-pickup queue span; nil-safe
+	out   chan result // buffered(1); worker send never blocks
+	qspan *obs.Span   // admission-to-pickup queue span; nil-safe
+}
+
+// result is one job's outcome: the verdict plus the measurement tier that
+// decided it ("" under plain exact serving, keeping those response bodies
+// byte-identical to pre-tier versions).
+type result struct {
+	v    detect.Verdict
+	tier string
 }
 
 // Server is the online detection service. Build with New, expose with
@@ -121,8 +172,13 @@ type Server struct {
 	shape    [3]int
 	decIdx   int // index of DecisionEvent in det.Channels(), -1 if absent
 
+	// Tiered serving (nil / empty under plain exact serving).
+	twinDet     detect.Detector  // scores twin-tier measurements; == det unless TwinDetector set
+	twinWorkers []*twin.Measurer // twin replica pool, aligned with workers
+	twinTruth   *core.TruthCache // twin-tier truth memoisation; never shared with truth
+
 	queue chan *job
-	truth *core.TruthCache // nil when memoisation is disabled
+	truth *core.TruthCache // nil when memoisation is disabled or Tier is twin-only
 	next  atomic.Uint64    // server-assigned indices for index-less requests
 	rids  atomic.Uint64    // request ids for log correlation (distinct from idx)
 
@@ -144,6 +200,14 @@ type Server struct {
 // detect.TryLoad, the "fit once, serve many" path.
 func New(m *core.Measurer, det detect.Detector, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	switch cfg.Tier {
+	case TierExact, TierTwin, TierAuto:
+	default:
+		panic(fmt.Sprintf("serve: unknown tier %q", cfg.Tier))
+	}
+	if cfg.Tier != TierExact && cfg.Twin == nil {
+		panic(fmt.Sprintf("serve: tier %q requires Config.Twin", cfg.Tier))
+	}
 	meta := m.Engine.Model.Meta
 	channels := det.Channels()
 	decIdx := -1
@@ -165,14 +229,48 @@ func New(m *core.Measurer, det detect.Detector, cfg Config) *Server {
 		logger:   cfg.Logger,
 		gate:     cfg.gate,
 	}
+	if cfg.Tier != TierExact {
+		s.twinDet = det
+		if cfg.TwinDetector != nil {
+			// The service decision rule (decIdx) and the response channel maps
+			// are shared across tiers, so the twin detector must score the
+			// same channels in the same order.
+			got := cfg.TwinDetector.Channels()
+			if len(got) != len(channels) {
+				panic(fmt.Sprintf("serve: twin detector has %d channels, main detector %d", len(got), len(channels)))
+			}
+			for i, ch := range got {
+				if ch != channels[i] {
+					panic(fmt.Sprintf("serve: twin detector channel %d is %q, main detector has %q", i, ch, channels[i]))
+				}
+			}
+			s.twinDet = cfg.TwinDetector
+		}
+		s.twinWorkers = make([]*twin.Measurer, cfg.Workers)
+		s.twinWorkers[0] = cfg.Twin
+		for w := 1; w < cfg.Workers; w++ {
+			s.twinWorkers[w] = cfg.Twin.Clone()
+		}
+	}
 	if s.logger == nil {
 		s.logger = slog.Default()
 	}
 	s.tracer = obs.NewTracer(s.stats.reg, s.logger)
 	s.stats.registerQueueGauges(s.queue)
 	if cfg.TruthCacheSize > 0 {
-		s.truth = core.NewTruthCache(cfg.TruthCacheSize)
-		s.stats.registerTruthCache(s.truth)
+		// Twin and exact truths for the same input differ, so each tier that
+		// can serve gets its own cache; the twin-only tier never simulates and
+		// therefore carries no exact cache at all.
+		if cfg.Tier != TierTwin {
+			s.truth = core.NewTruthCache(cfg.TruthCacheSize)
+			s.stats.registerTruthCache(s.truth)
+		}
+		if cfg.Tier != TierExact {
+			s.twinTruth = core.NewTruthCache(cfg.TruthCacheSize)
+		}
+	}
+	if cfg.Tier != TierExact {
+		s.stats.registerTier(cfg.Twin.Table, s.twinTruth)
 	}
 	s.stats.reg.Gauge("advhunter_pool_workers", "Engine replica pool size.").With().Set(float64(cfg.Workers))
 	s.poolHooks = parallel.Hooks{
@@ -278,22 +376,95 @@ func (s *Server) process(batch []*job) {
 	}
 	s.stats.batchSizes.Observe(float64(len(live)))
 	parallel.MapWorkersHooked(len(s.workers), live, s.poolHooks, func(worker, _ int, j *job) struct{} {
-		ctx, sp := obs.StartSpan(j.ctx, "measure")
-		meas, hit := s.workers[worker].MeasureAtCached(s.truth, j.idx, j.x)
-		sp.End()
-		if s.truth != nil {
-			if hit {
-				s.stats.truthHits.Inc()
-			} else {
-				s.stats.truthMisses.Inc()
-			}
-		}
-		_, sp = obs.StartSpan(ctx, "score")
-		v := s.det.Detect(meas)
-		sp.End()
-		j.out <- v
+		j.out <- s.measureJob(worker, j)
 		return struct{}{}
 	})
+}
+
+// measureJob runs one job on one pool worker under the configured tier.
+// Every path is a pure function of (input, index): the twin verdict, the
+// uncertainty decision, and the exact verdict are each deterministic, so the
+// tier chosen — and the response — never depends on batching or scheduling.
+func (s *Server) measureJob(worker int, j *job) result {
+	switch s.cfg.Tier {
+	case TierTwin:
+		v := s.scoreTwin(worker, j)
+		s.stats.tierTwin.Inc()
+		return result{v: v, tier: TierTwin}
+	case TierAuto:
+		v := s.scoreTwin(worker, j)
+		s.stats.tierScreened.Inc()
+		if !s.uncertain(v) {
+			s.stats.tierTwin.Inc()
+			return result{v: v, tier: TierTwin}
+		}
+		s.stats.tierEscalations.Inc()
+		ev := s.scoreExact(worker, j)
+		s.stats.tierExact.Inc()
+		if s.adversarial(v) == s.adversarial(ev) {
+			s.stats.tierAgreement.Inc()
+		}
+		return result{v: ev, tier: TierExact}
+	default:
+		return result{v: s.scoreExact(worker, j)}
+	}
+}
+
+// scoreExact measures j on the exact simulator and scores it with the main
+// detector, recording the measure/score spans and the per-tier latency.
+func (s *Server) scoreExact(worker int, j *job) detect.Verdict {
+	start := time.Now()
+	ctx, sp := obs.StartSpan(j.ctx, "measure")
+	meas, hit := s.workers[worker].MeasureAtCached(s.truth, j.idx, j.x)
+	sp.End()
+	if s.truth != nil {
+		if hit {
+			s.stats.truthHits.Inc()
+		} else {
+			s.stats.truthMisses.Inc()
+		}
+	}
+	_, sp = obs.StartSpan(ctx, "score")
+	v := s.det.Detect(meas)
+	sp.End()
+	if s.stats.tierSecondsExact != nil {
+		s.stats.tierSecondsExact.Observe(time.Since(start).Seconds())
+	}
+	return v
+}
+
+// scoreTwin measures j on the twin backend and scores it with the twin
+// detector. The twin truth cache is separate from the exact one: the two
+// tiers' noise-free counts differ, so their memoisations must never mix.
+func (s *Server) scoreTwin(worker int, j *job) detect.Verdict {
+	start := time.Now()
+	ctx, sp := obs.StartSpan(j.ctx, "twin-measure")
+	meas, hit := s.twinWorkers[worker].MeasureAtCached(s.twinTruth, j.idx, j.x)
+	sp.End()
+	if s.twinTruth != nil {
+		if hit {
+			s.stats.twinTruthHits.Inc()
+		} else {
+			s.stats.twinTruthMisses.Inc()
+		}
+	}
+	_, sp = obs.StartSpan(ctx, "twin-score")
+	v := s.twinDet.Detect(meas)
+	sp.End()
+	s.stats.tierSecondsTwin.Observe(time.Since(start).Seconds())
+	return v
+}
+
+// uncertain decides whether a twin verdict must escalate to the exact tier:
+// the twin detector's own uncertainty band around the service decision
+// channel. Detectors that cannot introspect their thresholds escalate
+// everything — correct, just never faster than exact-only serving.
+func (s *Server) uncertain(v detect.Verdict) bool {
+	u, ok := s.twinDet.(detect.Uncertainty)
+	if !ok {
+		return true
+	}
+	return u.Uncertain(v, s.decIdx, s.cfg.EscalationMargin)
 }
 
 // adversarial applies the service's decision rule to one verdict: the
@@ -347,7 +518,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(rctx, s.cfg.Timeout)
 	defer cancel()
 	_, qspan := obs.StartSpan(rctx, "queue")
-	j := &job{idx: idx, x: req.Tensor(), ctx: ctx, out: make(chan detect.Verdict, 1), qspan: qspan}
+	j := &job{idx: idx, x: req.Tensor(), ctx: ctx, out: make(chan result, 1), qspan: qspan}
 
 	// Admission. The WaitGroup brackets the draining check and the enqueue
 	// so Shutdown can close the queue only after every in-flight handler
@@ -371,9 +542,10 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	}
 
 	select {
-	case v := <-j.out:
+	case r := <-j.out:
+		v := r.v
 		_, sp := obs.StartSpan(rctx, "verdict")
-		resp := s.response(idx, v)
+		resp := s.response(idx, r)
 		s.stats.observeDecision(v.Flags, resp.Adversarial)
 		sp.End()
 		if resp.Adversarial {
@@ -391,13 +563,15 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 }
 
 // response renders one detection verdict.
-func (s *Server) response(idx uint64, v detect.Verdict) Response {
+func (s *Server) response(idx uint64, r result) Response {
+	v := r.v
 	resp := Response{
 		Index:          idx,
 		PredictedClass: v.PredictedClass,
 		Backend:        s.det.Kind(),
 		Modelled:       v.Modelled,
 		Adversarial:    s.adversarial(v),
+		Tier:           r.tier,
 		Scores:         make(map[string]float64, len(s.channels)),
 		Flags:          make(map[string]bool, len(s.channels)),
 	}

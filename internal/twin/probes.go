@@ -1,0 +1,35 @@
+package twin
+
+import (
+	"advhunter/internal/data"
+	"advhunter/internal/rng"
+	"advhunter/internal/tensor"
+)
+
+// Probes assembles a profiling sweep from a sample pool: every clean image
+// plus extra perturbed copies per image — uniform noise of amplitude eps,
+// clamped to [0,1] — so the sparsity grid covers the perturbed neighbourhood
+// adversarial queries live in, not just the clean manifold. Deterministic in
+// (samples, extra, eps, seed).
+func Probes(samples []data.Sample, extra int, eps float64, seed uint64) []*tensor.Tensor {
+	r := rng.New(seed)
+	out := make([]*tensor.Tensor, 0, len(samples)*(1+extra))
+	for _, s := range samples {
+		out = append(out, s.X)
+		for k := 0; k < extra; k++ {
+			p := s.X.Clone()
+			d := p.Data()
+			for j := range d {
+				v := d[j] + eps*(2*r.Float64()-1)
+				if v < 0 {
+					v = 0
+				} else if v > 1 {
+					v = 1
+				}
+				d[j] = v
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}

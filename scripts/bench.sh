@@ -1,23 +1,27 @@
 #!/usr/bin/env sh
-# Benchmark harness for the single-inference fast path (PR 5).
+# Benchmark harness for the analytical-twin tiered serving path (PR 6).
 #
-# Runs the four benchmark families that bracket the replay pipeline —
-# end-to-end inference, the batch measurement set, the cache demand-access
-# hot loop, and the matmul kernel — with -benchmem -count=6, and writes
-# BENCH_5.json containing the freshly measured numbers next to the committed
-# pre-PR baseline (measured on the parent of this PR's first commit, same
-# host class: Intel Xeon @ 2.10GHz).
+# Runs the benchmark families that bracket the serving stack — end-to-end
+# inference, the batch measurement set, the cache demand-access hot loop, the
+# matmul kernel, and the serve-level tier benchmarks (full HTTP handler:
+# decode, queue, measure, score, encode) — with -benchmem -count=6, and
+# writes BENCH_6.json containing the freshly measured numbers next to the
+# committed pre-PR baseline (the PR 5 results, same host class: Intel Xeon
+# @ 2.10GHz).
 #
 # Per benchmark we record the MINIMUM ns/op across the six runs: this host
 # class is a shared tenant and the minimum is the least-noise estimator of
 # the true cost. B/op and allocs/op are stable across runs and recorded
-# verbatim.
+# verbatim. The serve benchmarks additionally report per-request latency
+# quantiles (p50-ns / p99-ns, also minimised across runs); the headline
+# "serve_tier_p50_ratio" is exact-nocache p50 over twin p50 — the speedup a
+# twin-screened request sees relative to a full simulator replay.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_5.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_6.json)
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_5.json}"
+out="${1:-BENCH_6.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -29,9 +33,12 @@ echo "== cache demand access =="
 go test -run=NONE -bench='BenchmarkCacheAccess' -benchmem -count=6 ./internal/uarch/cache | tee -a "$raw"
 echo "== matmul kernel =="
 go test -run=NONE -bench='BenchmarkMatMul64' -benchmem -count=6 ./internal/tensor | tee -a "$raw"
+echo "== serve tiers (full handler, per-request quantiles) =="
+go test -run=NONE -bench='BenchmarkServeTier' -benchmem -count=6 ./internal/serve | tee -a "$raw"
 
-# Aggregate: min ns/op per benchmark, last-seen B/op and allocs/op, then
-# emit JSON with the committed baseline alongside.
+# Aggregate: min ns/op (and min p50-ns/p99-ns where reported) per benchmark,
+# last-seen B/op and allocs/op, then emit JSON with the committed baseline
+# alongside.
 awk '
 /^Benchmark/ {
     name = $1
@@ -41,25 +48,29 @@ awk '
     for (i = 4; i <= NF; i++) {
         if ($(i) == "B/op") bop[name] = $(i-1) + 0
         if ($(i) == "allocs/op") aop[name] = $(i-1) + 0
+        if ($(i) == "p50-ns") { v = $(i-1) + 0; if (!(name in p50) || v < p50[name]) p50[name] = v }
+        if ($(i) == "p99-ns") { v = $(i-1) + 0; if (!(name in p99) || v < p99[name]) p99[name] = v }
     }
     if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
 }
 END {
-    # Pre-PR baseline: min ns/op over -count=6 on the parent commit.
-    base["BenchmarkEngineInferSimpleCNN"]  = "6796692 1507784 254"
-    base["BenchmarkEngineInferResNet18"]   = "8180515 1605282 1696"
-    base["BenchmarkMeasureSet/workers=1"]  = "183831750 42847165 10163"
-    base["BenchmarkMeasureSet/workers=2"]  = "176011665 43262128 10263"
-    base["BenchmarkMeasureSet/workers=4"]  = "173311970 44091504 10455"
-    base["BenchmarkMeasureSet/workers=8"]  = "174141276 45750248 10839"
-    base["BenchmarkCacheAccess"]           = "32.27 0 0"
-    base["BenchmarkMatMul64"]              = "129349 32848 4"
+    # Pre-PR baseline: the PR 5 results (min ns/op over -count=6) on the
+    # parent of this PR'\''s first commit. The serve-tier benchmarks are new
+    # in this PR and have no pre-PR counterpart.
+    base["BenchmarkEngineInferSimpleCNN"]  = "4324060 5533 0"
+    base["BenchmarkEngineInferResNet18"]   = "5938090 8828 8"
+    base["BenchmarkMeasureSet/workers=1"]  = "127184000 138153 32"
+    base["BenchmarkMeasureSet/workers=2"]  = "124910000 1266684 319"
+    base["BenchmarkMeasureSet/workers=4"]  = "126844000 3567627 894"
+    base["BenchmarkMeasureSet/workers=8"]  = "128463000 8184326 2048"
+    base["BenchmarkCacheAccess"]           = "20.21 0 0"
+    base["BenchmarkMatMul64"]              = "121800 32832 3"
 
     printf "{\n"
-    printf "  \"pr\": 5,\n"
+    printf "  \"pr\": 6,\n"
     printf "  \"count\": 6,\n"
-    printf "  \"metric\": \"min ns/op over count runs; B/op and allocs/op are stable\",\n"
-    printf "  \"baseline\": \"pre-PR parent commit, Intel Xeon @ 2.10GHz\",\n"
+    printf "  \"metric\": \"min ns/op (and min p50-ns/p99-ns) over count runs; B/op and allocs/op are stable\",\n"
+    printf "  \"baseline\": \"PR 5 results on the pre-PR parent commit, Intel Xeon @ 2.10GHz\",\n"
     printf "  \"benchmarks\": {\n"
     for (i = 1; i <= n; i++) {
         name = order[i]
@@ -68,10 +79,16 @@ END {
         printf "    \"%s\": {\n", name
         printf "      \"before\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s},\n", b[1], b[2], b[3]
         printf "      \"after\": {\"ns_op\": %g, \"b_op\": %d, \"allocs_op\": %d},\n", minns[name], bop[name], aop[name]
+        if (name in p50)
+            printf "      \"quantiles\": {\"p50_ns\": %g, \"p99_ns\": %g},\n", p50[name], p99[name]
         printf "      \"speedup\": %.2f\n", speedup
         printf "    }%s\n", (i < n) ? "," : ""
     }
-    printf "  }\n"
+    printf "  },\n"
+    exact = p50["BenchmarkServeTierResNet18/exact-nocache"]
+    twin = p50["BenchmarkServeTierResNet18/twin"]
+    ratio = (exact > 0 && twin > 0) ? exact / twin : 0
+    printf "  \"serve_tier_p50_ratio\": %.1f\n", ratio
     printf "}\n"
 }' "$raw" > "$out"
 

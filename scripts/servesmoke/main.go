@@ -42,6 +42,7 @@ func run(bin, scenario string) error {
 		"-scenario", scenario,
 		"-addr", "127.0.0.1:0", // kernel-assigned port, parsed from the announcement
 		"-workers", "2",
+		"-tier", "auto", // exercises the twin-table load (or profile) path too
 		"-pprof",
 		"-log-format", "json", "-log-level", "info",
 		"-v")
@@ -89,13 +90,18 @@ func run(bin, scenario string) error {
 		return fmt.Errorf("/metrics failed the exposition linter: %w\n%s", err, metrics)
 	}
 	// One scrape must carry series from every layer: build metadata, the
-	// admission queue, the replica pool, and the experiment cache the server
-	// loaded its model through.
+	// admission queue, the replica pool, the experiment cache the server
+	// loaded its model through, and — because the server runs tier auto —
+	// the tiered-serving counters (pre-resolved handles render even at zero,
+	// so they must appear before any request arrives).
 	for _, want := range []string{
 		"advhunter_build_info",
 		"advhunter_queue_capacity",
 		"advhunter_pool_workers 2",
 		`advhunter_cache_ops_total{op="hit"}`,
+		`advhunter_tier_requests_total{tier="twin"}`,
+		"advhunter_tier_escalations_total",
+		"advhunter_twin_table_bytes",
 	} {
 		if !strings.Contains(string(metrics), want) {
 			return fmt.Errorf("/metrics missing %q:\n%s", want, metrics)

@@ -30,8 +30,8 @@ go vet ./examples/...
 echo "== test =="
 go test ./...
 
-echo "== race (parallel pipeline + detection + serving + observability + cache runs) =="
-go test -race ./internal/parallel ./internal/core ./internal/engine ./internal/detect ./internal/serve ./internal/obs ./internal/uarch/cache
+echo "== race (parallel pipeline + detection + serving + twin + observability + cache runs) =="
+go test -race ./internal/parallel ./internal/core ./internal/engine ./internal/detect ./internal/serve ./internal/twin ./internal/obs ./internal/uarch/cache
 
 echo "== bench smoke (compile + one iteration of every benchmark) =="
 go test -run=NONE -bench=. -benchtime=1x ./...
