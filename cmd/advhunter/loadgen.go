@@ -1,0 +1,421 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"advhunter/internal/data"
+	"advhunter/internal/detect"
+	"advhunter/internal/experiments"
+	"advhunter/internal/serve"
+	"advhunter/internal/twin"
+	"advhunter/internal/uarch/hpc"
+	"advhunter/internal/workload"
+)
+
+// serveOpts holds the serving-stack flags shared by `serve` and the load
+// generator's self-boot path — one registration point, so a server booted by
+// `loadgen` is configured exactly like one booted by `serve`.
+type serveOpts struct {
+	queue       *int
+	maxBatch    *int
+	batchWait   *time.Duration
+	timeout     *time.Duration
+	event       *string
+	truthCache  *int
+	maxInflight *int
+	tier        *string
+	twinDir     *string
+	margin      *float64
+}
+
+func serveFlags(fs *flag.FlagSet) serveOpts {
+	return serveOpts{
+		queue:       fs.Int("queue", 64, "admission queue capacity (full queue answers 429)"),
+		maxBatch:    fs.Int("max-batch", 8, "micro-batch size cap"),
+		batchWait:   fs.Duration("batch-wait", 2*time.Millisecond, "micro-batcher linger after the first queued request"),
+		timeout:     fs.Duration("timeout", 10*time.Second, "per-request budget including queueing"),
+		event:       fs.String("event", hpc.CacheMisses.String(), "perf event driving the adversarial verdict"),
+		truthCache:  fs.Int("truth-cache", 512, "truth-count memoisation cache entries (0 disables)"),
+		maxInflight: fs.Int("max-inflight", 0, "cap on concurrently admitted requests, independent of -queue (0 = unlimited)"),
+		tier:        fs.String("tier", serve.TierExact, "serving tier: exact, twin (analytical twin only), or auto (twin screens, uncertain verdicts escalate to exact)"),
+		twinDir:     fs.String("twin-dir", "artifacts/twin", "precomputed twin-table directory (tables are profiled on a miss; used when -tier is twin or auto)"),
+		margin:      fs.Float64("margin", 0.15, "auto-tier escalation band around the detector threshold (0 = default, negative = never escalate)"),
+	}
+}
+
+// validate rejects bad tier and decision-event selections — cheap checks run
+// before any model loads, so a typo fails in milliseconds, not after
+// training.
+func (o serveOpts) validate() error {
+	switch *o.tier {
+	case serve.TierExact, serve.TierTwin, serve.TierAuto:
+	default:
+		return fmt.Errorf("unknown tier %q (have %s, %s, %s)", *o.tier, serve.TierExact, serve.TierTwin, serve.TierAuto)
+	}
+	_, err := hpc.ParseEvent(*o.event)
+	return err
+}
+
+// config builds the serve.Config, loading the twin stack when the tier needs
+// it. tier overrides the -tier flag when non-empty (the sweep boots one
+// server per tier). Call validate first.
+func (o serveOpts) config(env *experiments.Env, dopts detectorOpts, det *detect.Fitted,
+	workers int, logger *slog.Logger, tier string) (serve.Config, error) {
+	if tier == "" {
+		tier = *o.tier
+	}
+	decision, err := hpc.ParseEvent(*o.event)
+	if err != nil {
+		return serve.Config{}, err
+	}
+	// The flag's 0 means "off"; the Config's 0 means "default" and negative
+	// means "off" (so the zero Config still serves with memoisation on).
+	truthSize := *o.truthCache
+	if truthSize <= 0 {
+		truthSize = -1
+	}
+	dataset := env.Scn.Dataset
+	cfg := serve.Config{
+		QueueSize:      *o.queue,
+		Workers:        workers,
+		MaxBatch:       *o.maxBatch,
+		BatchWait:      *o.batchWait,
+		Timeout:        *o.timeout,
+		DecisionEvent:  decision,
+		ClassName:      func(c int) string { return data.ClassName(dataset, c) },
+		Logger:         logger,
+		TruthCacheSize: truthSize,
+		MaxInflight:    *o.maxInflight,
+	}
+	if tier != serve.TierExact {
+		dcfg, err := dopts.config()
+		if err != nil {
+			return serve.Config{}, err
+		}
+		// The twin screens with a detector of the same backend as the exact
+		// tier's, recalibrated on twin-measured counts (TwinBackend explains
+		// why thresholds fitted on exact counts would misfire on twin
+		// readings). The table loads from -twin-dir when fresh — write it
+		// ahead of time with `advhunter twin-profile` — and is silently
+		// re-profiled on any model/machine hash mismatch.
+		tm, tdet, _, err := env.TwinBackend(filepath.Join(*o.twinDir, env.Scn.ID+".gob"), twin.DefaultKnots, det.Kind(), dcfg)
+		if err != nil {
+			return serve.Config{}, err
+		}
+		cfg.Tier = tier
+		cfg.Twin = tm
+		cfg.TwinDetector = tdet
+		cfg.EscalationMargin = *o.margin
+	}
+	return cfg, nil
+}
+
+// bootedServer is one in-process serve instance the load generator drives
+// when no -target is given.
+type bootedServer struct {
+	base string
+	srv  *serve.Server
+	http *http.Server
+	ln   net.Listener
+}
+
+// bootServer starts a serve instance on a kernel-picked loopback port.
+func bootServer(env *experiments.Env, det *detect.Fitted, cfg serve.Config) (*bootedServer, error) {
+	srv := serve.New(env.Meas.Clone(), det, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			slog.Error("loadgen server", slog.String("err", err.Error()))
+		}
+	}()
+	return &bootedServer{base: "http://" + ln.Addr().String(), srv: srv, http: hs, ln: ln}, nil
+}
+
+func (b *bootedServer) shutdown() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	b.srv.Shutdown(ctx)
+	b.http.Shutdown(ctx)
+}
+
+// parseCohorts turns a "clean=6,fgsm=2,repeat=2" spec into a workload mix,
+// crafting the adversarial pools through the scenario's attack cache. hot is
+// the repeat cohort's hot-set size, eps the adversarial strength.
+func parseCohorts(env *experiments.Env, spec string, hot int, eps float64) (workload.Mix, error) {
+	var mix workload.Mix
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("cohort %q is not name=weight", part)
+		}
+		weight, err := strconv.ParseFloat(weightStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cohort %q: %w", part, err)
+		}
+		c := workload.Cohort{Name: name, Weight: weight}
+		switch name {
+		case "clean":
+			c.Pool = env.DS.Test
+		case "repeat":
+			c.Pool = env.DS.Test
+			c.Hot = hot
+		case "fgsm", "mim", "pgd":
+			pool, err := env.CraftSamples(experiments.AttackSpec{Kind: name, Eps: eps, Targeted: true}, 60)
+			if err != nil {
+				return nil, fmt.Errorf("crafting %s cohort: %w", name, err)
+			}
+			if len(pool) == 0 {
+				return nil, fmt.Errorf("%s cohort: attack produced no successful examples", name)
+			}
+			c.Pool = pool
+		default:
+			return nil, fmt.Errorf("unknown cohort %q (have clean, repeat, fgsm, mim, pgd)", name)
+		}
+		mix = append(mix, c)
+	}
+	return mix, nil
+}
+
+// sweepResult is the JSON envelope scripts/bench.sh appends to BENCH_7.json.
+type sweepResult struct {
+	Scenario string             `json:"scenario"`
+	Runs     []*workload.Report `json:"runs"`
+}
+
+func cmdLoadgen(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scenario := fs.String("scenario", "S1", "scenario id: the cohorts' sample source and the self-booted server's model (must match -target's model when targeting)")
+	target := fs.String("target", "", "base URL of a running advhunter serve (empty boots one in-process on 127.0.0.1:0)")
+	shape := fs.String("shape", workload.Poisson, fmt.Sprintf("arrival process: %v", workload.Kinds()))
+	rate := fs.Float64("rate", 50, "open-loop mean offered load, requests/second")
+	duration := fs.Duration("duration", 2*time.Second, "open-loop run horizon")
+	requests := fs.Int("requests", 128, "closed-loop request count")
+	clients := fs.Int("clients", 4, "closed-loop client count (also the open-loop in-flight socket cap)")
+	think := fs.Duration("think", 0, "closed-loop think time between a response and the next request")
+	burst := fs.Float64("burst", 8, "bursty on-phase rate multiplier")
+	onFraction := fs.Float64("on", 0.25, "bursty on-phase fraction of each period")
+	period := fs.Duration("period", time.Second, "bursty on/off cycle length")
+	cycles := fs.Int("cycles", 2, "diurnal sinusoid cycles across the horizon")
+	cohorts := fs.String("cohorts", "clean=6,fgsm=2,repeat=2", "cohort=weight list (cohorts: clean, fgsm, mim, pgd, repeat)")
+	hot := fs.Int("hot", 2, "repeat cohort hot-set size (distinct inputs it cycles through)")
+	eps := fs.Float64("eps", 0.5, "attack strength for the adversarial cohorts")
+	loadSeed := fs.Uint64("load-seed", 1, "workload generation seed (equal seeds generate byte-identical traces)")
+	record := fs.String("record", "", "write the generated trace to this file for later -replay")
+	replay := fs.String("replay", "", "replay a recorded trace instead of generating one")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request client budget")
+	asJSON := fs.Bool("json", false, "emit the report as JSON instead of text")
+	expo := fs.String("expo", "", "write the client-side metrics exposition to this file")
+	sweep := fs.Bool("sweep", false, "run the bench sweep — shapes {poisson,bursty,closed} × tiers {exact,twin,auto} — self-booting one server per tier; ignores -target/-shape/-tier")
+	out := fs.String("out", "", "with -sweep: write the sweep JSON to this file (default stdout)")
+	sopts := serveFlags(fs)
+	dopts := detectorFlags(fs)
+	copts := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := copts.logger(stderr)
+	if err != nil {
+		return err
+	}
+	if err := sopts.validate(); err != nil {
+		return err
+	}
+	// Cheap structural checks before any model loads.
+	if err := (workload.ArrivalSpec{Kind: *shape, Rate: *rate}).Validate(); err != nil && *replay == "" && !*sweep {
+		return err
+	}
+	env, err := experiments.LoadEnv(*scenario, copts.options())
+	if err != nil {
+		return err
+	}
+	mix, err := parseCohorts(env, *cohorts, *hot, *eps)
+	if err != nil {
+		return err
+	}
+
+	if *sweep {
+		return runSweep(env, dopts, sopts, copts, mix, logger, sweepParams{
+			rate: *rate, duration: *duration, requests: *requests, clients: *clients,
+			seed: *loadSeed, timeout: *reqTimeout, out: *out,
+		}, stdout, stderr)
+	}
+
+	// One trace: replayed from disk or generated from the flags.
+	var tr *workload.Trace
+	if *replay != "" {
+		loaded, ok := workload.TryLoadTrace(*replay)
+		if !ok {
+			return fmt.Errorf("trace %s is missing, corrupt, or stale-schema", *replay)
+		}
+		tr = loaded
+	} else {
+		tr, err = workload.Generate(workload.Config{
+			Name: *scenario + "-" + *shape,
+			Seed: *loadSeed,
+			Arrival: workload.ArrivalSpec{
+				Kind: *shape, Rate: *rate,
+				Burst: *burst, OnFraction: *onFraction, Period: *period,
+				Cycles:  *cycles,
+				Clients: *clients, Think: *think,
+			},
+			Mix:      mix,
+			Horizon:  *duration,
+			Requests: *requests,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if *record != "" {
+		if err := workload.SaveTrace(*record, tr); err != nil {
+			return fmt.Errorf("recording trace to %s: %w", *record, err)
+		}
+		fmt.Fprintf(stderr, "recorded %d events to %s\n", len(tr.Events), *record)
+	}
+
+	base := *target
+	if base == "" {
+		det, err := loadOrFitDetector(env, dopts)
+		if err != nil {
+			return err
+		}
+		cfg, err := sopts.config(env, dopts, det, *copts.workers, logger, "")
+		if err != nil {
+			return err
+		}
+		booted, err := bootServer(env, det, cfg)
+		if err != nil {
+			return err
+		}
+		defer booted.shutdown()
+		base = booted.base
+		fmt.Fprintf(stderr, "booted %s (tier %s) on %s\n", env.Scn.ID, *sopts.tier, base)
+	}
+
+	res, err := workload.Run(context.Background(), base, tr, workload.RunOptions{
+		Clients: *clients, Timeout: *reqTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	if *expo != "" {
+		f, err := os.Create(*expo)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteMetrics(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res.Report)
+	}
+	res.Report.Render(stdout)
+	return nil
+}
+
+// sweepParams carries the sweep's sizing knobs.
+type sweepParams struct {
+	rate     float64
+	duration time.Duration
+	requests int
+	clients  int
+	seed     uint64
+	timeout  time.Duration
+	out      string
+}
+
+// runSweep is the serve-level bench harness: for each tier it boots a fresh
+// server and drives it with each traffic shape, emitting one JSON document
+// with every report — the "serve" section of BENCH_7.json.
+func runSweep(env *experiments.Env, dopts detectorOpts, sopts serveOpts, copts commonOpts,
+	mix workload.Mix, logger *slog.Logger, p sweepParams, stdout, stderr io.Writer) error {
+	det, err := loadOrFitDetector(env, dopts)
+	if err != nil {
+		return err
+	}
+	shapes := []workload.ArrivalSpec{
+		{Kind: workload.Poisson, Rate: p.rate},
+		{Kind: workload.Bursty, Rate: p.rate / 2, Period: p.duration / 4},
+		{Kind: workload.Closed, Clients: p.clients},
+	}
+	result := sweepResult{Scenario: env.Scn.ID}
+	for ti, tier := range []string{serve.TierExact, serve.TierTwin, serve.TierAuto} {
+		cfg, err := sopts.config(env, dopts, det, *copts.workers, logger, tier)
+		if err != nil {
+			return err
+		}
+		booted, err := bootServer(env, det, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "sweep: tier %s on %s\n", tier, booted.base)
+		for si, spec := range shapes {
+			tr, err := workload.Generate(workload.Config{
+				Name:     fmt.Sprintf("%s-%s-%s", env.Scn.ID, tier, spec.Kind),
+				Seed:     p.seed + uint64(ti*len(shapes)+si),
+				Arrival:  spec,
+				Mix:      mix,
+				Horizon:  p.duration,
+				Requests: p.requests,
+			})
+			if err != nil {
+				booted.shutdown()
+				return err
+			}
+			res, err := workload.Run(context.Background(), booted.base, tr,
+				workload.RunOptions{Clients: p.clients, Timeout: p.timeout})
+			if err != nil {
+				booted.shutdown()
+				return fmt.Errorf("sweep %s/%s: %w", tier, spec.Kind, err)
+			}
+			rep := res.Report
+			rep.Tier = tier // label even if a shape completed nothing
+			result.Runs = append(result.Runs, rep)
+			fmt.Fprintf(stderr, "sweep: %s/%s — %d req, p50 %.2fms p99 %.2fms, %.1f req/s, 429 %.3f, truth-hit %.3f\n",
+				tier, spec.Kind, rep.Requests, rep.Latency.P50Ms, rep.Latency.P99Ms,
+				rep.ThroughputRPS, rep.Rate429, rep.Server.TruthHitRate)
+		}
+		booted.shutdown()
+	}
+	w := stdout
+	if p.out != "" {
+		f, err := os.Create(p.out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(result)
+}

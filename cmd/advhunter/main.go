@@ -13,6 +13,7 @@
 //	advhunter scan -scenario S2 [-n 20] [-detector FILE] [-backend gmm]
 //	advhunter twin-profile -scenario S2 [-dir artifacts/twin] [-knots 16] [-force]
 //	advhunter serve -scenario S2 -addr :8080 [-detector FILE] [-backend gmm] [-tier auto]
+//	advhunter loadgen -scenario S1 [-target URL] [-shape poisson] [-rate 50] [-sweep]
 package main
 
 import (
@@ -76,6 +77,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdTwinProfile(args[1:], stdout, stderr)
 	case "serve":
 		err = cmdServe(args[1:], stdout, stderr)
+	case "loadgen":
+		err = cmdLoadgen(args[1:], stdout, stderr)
 	case "-h", "--help", "help":
 		usage(stdout)
 		return 0
@@ -107,6 +110,7 @@ commands:
   scan        run the deployed pipeline on test images and print decisions
   twin-profile  precompute the analytical-twin count tables for a scenario
   serve       run the online detection service (HTTP JSON, /detect)
+  loadgen     drive a serve instance with synthetic traffic and report latency, throughput, and backpressure
 
 run 'advhunter <command> -h' for flags.`)
 }
@@ -545,15 +549,7 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	scenario := fs.String("scenario", "S2", "scenario id (defines the served model)")
 	addr := fs.String("addr", ":8080", "listen address")
 	dopts := detectorFlags(fs)
-	queue := fs.Int("queue", 64, "admission queue capacity (full queue answers 429)")
-	maxBatch := fs.Int("max-batch", 8, "micro-batch size cap")
-	batchWait := fs.Duration("batch-wait", 2*time.Millisecond, "micro-batcher linger after the first queued request")
-	timeout := fs.Duration("timeout", 10*time.Second, "per-request budget including queueing")
-	event := fs.String("event", hpc.CacheMisses.String(), "perf event driving the adversarial verdict")
-	truthCache := fs.Int("truth-cache", 512, "truth-count memoisation cache entries (0 disables)")
-	tier := fs.String("tier", serve.TierExact, "serving tier: exact, twin (analytical twin only), or auto (twin screens, uncertain verdicts escalate to exact)")
-	twinDir := fs.String("twin-dir", "artifacts/twin", "precomputed twin-table directory (tables are profiled on a miss; used when -tier is twin or auto)")
-	margin := fs.Float64("margin", 0.15, "auto-tier escalation band around the detector threshold (0 = default, negative = never escalate)")
+	sopts := serveFlags(fs)
 	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof profiling endpoints")
 	copts := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -563,14 +559,8 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	decision, err := hpc.ParseEvent(*event)
-	if err != nil {
+	if err := sopts.validate(); err != nil {
 		return err
-	}
-	switch *tier {
-	case serve.TierExact, serve.TierTwin, serve.TierAuto:
-	default:
-		return fmt.Errorf("unknown tier %q (have %s, %s, %s)", *tier, serve.TierExact, serve.TierTwin, serve.TierAuto)
 	}
 	env, err := experiments.LoadEnv(*scenario, copts.options())
 	if err != nil {
@@ -580,44 +570,9 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-
-	// The flag's 0 means "off"; the Config's 0 means "default" and negative
-	// means "off" (so the zero Config still serves with memoisation on).
-	truthSize := *truthCache
-	if truthSize <= 0 {
-		truthSize = -1
-	}
-	dataset := env.Scn.Dataset
-	cfg := serve.Config{
-		QueueSize:      *queue,
-		Workers:        *copts.workers,
-		MaxBatch:       *maxBatch,
-		BatchWait:      *batchWait,
-		Timeout:        *timeout,
-		DecisionEvent:  decision,
-		ClassName:      func(c int) string { return data.ClassName(dataset, c) },
-		Logger:         logger,
-		TruthCacheSize: truthSize,
-	}
-	if *tier != serve.TierExact {
-		dcfg, err := dopts.config()
-		if err != nil {
-			return err
-		}
-		// The twin screens with a detector of the same backend as the exact
-		// tier's, recalibrated on twin-measured counts (TwinBackend explains
-		// why thresholds fitted on exact counts would misfire on twin
-		// readings). The table loads from -twin-dir when fresh — write it
-		// ahead of time with `advhunter twin-profile` — and is silently
-		// re-profiled on any model/machine hash mismatch.
-		tm, tdet, _, err := env.TwinBackend(filepath.Join(*twinDir, env.Scn.ID+".gob"), twin.DefaultKnots, det.Kind(), dcfg)
-		if err != nil {
-			return err
-		}
-		cfg.Tier = *tier
-		cfg.Twin = tm
-		cfg.TwinDetector = tdet
-		cfg.EscalationMargin = *margin
+	cfg, err := sopts.config(env, dopts, det, *copts.workers, logger, "")
+	if err != nil {
+		return err
 	}
 	srv := serve.New(env.Meas, det, cfg)
 	handler := http.Handler(srv.Handler())
@@ -652,7 +607,7 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	// Print the listener's actual address: with ":0" the kernel picks the
 	// port, and scripted callers (scripts/servesmoke) parse this line.
 	fmt.Fprintf(stdout, "serving %s (%s × %s, tier %s) on %s — POST /detect, GET /healthz /readyz /metrics\n",
-		env.Scn.ID, env.Scn.Dataset, env.Scn.Arch, *tier, ln.Addr())
+		env.Scn.ID, env.Scn.Dataset, env.Scn.Arch, *sopts.tier, ln.Addr())
 
 	select {
 	case err := <-errc:

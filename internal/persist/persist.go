@@ -21,17 +21,48 @@ type envelope struct {
 	Payload []byte
 }
 
+// Encode renders v as a schema-tagged gob envelope — exactly the bytes Save
+// writes to disk. It is exposed for artifact classes whose transport is not
+// a file (recorded load-generator traces travel as bytes before they are
+// saved), so every envelope in the repository has one wire format. Encoding
+// is deterministic: equal values yield byte-identical envelopes.
+func Encode(schema int, v any) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return nil, fmt.Errorf("persist: encoding: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(envelope{Schema: schema, Payload: payload.Bytes()}); err != nil {
+		return nil, fmt.Errorf("persist: enveloping: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses a schema-tagged envelope produced by Encode (or read back
+// from a file Save wrote) into v. Corrupt bytes, pre-envelope data and
+// foreign schemas all return an error — callers uniformly treat any error
+// as a miss.
+func Decode(raw []byte, schema int, v any) error {
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&env); err != nil {
+		return fmt.Errorf("persist: decoding envelope: %w", err)
+	}
+	if env.Schema != schema {
+		return fmt.Errorf("persist: envelope has schema %d, want %d", env.Schema, schema)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(env.Payload)).Decode(v); err != nil {
+		return fmt.Errorf("persist: decoding payload: %w", err)
+	}
+	return nil
+}
+
 // Save atomically writes v (gob-encoded, tagged with schema) to path,
 // creating directories. The temporary file gets a unique name so concurrent
 // writers targeting different paths in one directory never collide.
 func Save(path string, schema int, v any) error {
-	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
-		return fmt.Errorf("persist: encoding %s: %w", path, err)
-	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(envelope{Schema: schema, Payload: payload.Bytes()}); err != nil {
-		return fmt.Errorf("persist: enveloping %s: %w", path, err)
+	buf, err := Encode(schema, v)
+	if err != nil {
+		return fmt.Errorf("%w (writing %s)", err, path)
 	}
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -41,7 +72,7 @@ func Save(path string, schema int, v any) error {
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(buf.Bytes()); err != nil {
+	if _, err := tmp.Write(buf); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
@@ -65,15 +96,8 @@ func Load(path string, schema int, v any) error {
 	if err != nil {
 		return err
 	}
-	var env envelope
-	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&env); err != nil {
-		return fmt.Errorf("persist: decoding %s: %w", path, err)
-	}
-	if env.Schema != schema {
-		return fmt.Errorf("persist: %s has schema %d, want %d", path, env.Schema, schema)
-	}
-	if err := gob.NewDecoder(bytes.NewReader(env.Payload)).Decode(v); err != nil {
-		return fmt.Errorf("persist: decoding %s payload: %w", path, err)
+	if err := Decode(raw, schema, v); err != nil {
+		return fmt.Errorf("%w (reading %s)", err, path)
 	}
 	return nil
 }

@@ -71,6 +71,61 @@ func TestTruncatedFileFails(t *testing.T) {
 	}
 }
 
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	want := payload{Name: "bytes", Vals: []float64{4, 5, 6}}
+	raw, err := Encode(3, want)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	var got payload
+	if err := Decode(raw, 3, &got); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Name != want.Name || len(got.Vals) != 3 {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, want)
+	}
+	if err := Decode(raw, 4, &got); err == nil {
+		t.Fatal("Decode under a different schema should fail")
+	}
+	if err := Decode(raw[:len(raw)/2], 3, &got); err == nil {
+		t.Fatal("Decode of truncated bytes should fail")
+	}
+}
+
+func TestEncodeIsDeterministic(t *testing.T) {
+	v := payload{Name: "same", Vals: []float64{1, 2, 3}}
+	a, err := Encode(9, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(9, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("Encode of equal values produced different bytes")
+	}
+}
+
+func TestFileAndByteFormsAgree(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "artifact.gob")
+	want := payload{Name: "shared", Vals: []float64{7}}
+	if err := Save(path, 5, want); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := Decode(raw, 5, &got); err != nil {
+		t.Fatalf("Decode of a Save'd file: %v", err)
+	}
+	if got.Name != want.Name {
+		t.Fatalf("file/byte mismatch: %+v vs %+v", got, want)
+	}
+}
+
 func TestMissingFileFails(t *testing.T) {
 	var got payload
 	if err := Load(filepath.Join(t.TempDir(), "absent.gob"), 1, &got); err == nil {

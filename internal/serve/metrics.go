@@ -195,3 +195,18 @@ func (m *metrics) registerQueueGauges(queue chan *job) {
 	m.reg.GaugeFunc("advhunter_queue_capacity",
 		"Admission queue capacity.", func() float64 { return float64(cap(queue)) })
 }
+
+// registerInflight publishes the connection-level admission gauges. Only
+// called with a non-nil token channel (Config.MaxInflight > 0), so an
+// unlimited server exports no in-flight series at all.
+func (m *metrics) registerInflight(tokens chan struct{}) {
+	if tokens == nil {
+		return
+	}
+	m.reg.GaugeFunc("advhunter_inflight_requests",
+		"Requests concurrently admitted into the handler (decode through response write).",
+		func() float64 { return float64(len(tokens)) })
+	m.reg.GaugeFunc("advhunter_inflight_capacity",
+		"Config.MaxInflight: the in-flight request cap.",
+		func() float64 { return float64(cap(tokens)) })
+}

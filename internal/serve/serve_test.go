@@ -372,6 +372,85 @@ func TestServeBackpressure(t *testing.T) {
 	}
 }
 
+// TestServeMaxInflight: the connection-level cap rejects over-concurrent
+// clients even when the admission queue has plenty of room — the knob is
+// independent of QueueSize (queued jobs are only part of in-flight work; a
+// closed-loop client also holds its connection through measurement and the
+// response write).
+func TestServeMaxInflight(t *testing.T) {
+	f := getFixture(t)
+	gate := make(chan struct{})
+	s := New(f.meas.Clone(), f.det, Config{
+		QueueSize: 32, Workers: 1, MaxBatch: 1, MaxInflight: 2, RetryAfter: 3, gate: gate,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown(context.Background())
+
+	const n = 10
+	type outcome struct {
+		status     int
+		retryAfter string
+	}
+	results := make(chan outcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := post(t, ts.URL, NewRequest(f.clean[0].X, uint64(i)))
+			results <- outcome{resp.StatusCode, resp.Header.Get("Retry-After")}
+		}(i)
+	}
+
+	// The queue (capacity 32) can hold every request, so all rejections here
+	// are the in-flight cap's: exactly 2 requests may be admitted, the other
+	// 8 must answer 429 while the pool is gated shut.
+	rejected := 0
+	var sawRetryAfter bool
+	timeout := time.After(30 * time.Second)
+	for rejected < n-2 {
+		select {
+		case o := <-results:
+			if o.status != http.StatusTooManyRequests {
+				t.Fatalf("got status %d before the gate opened", o.status)
+			}
+			if o.retryAfter == "3" {
+				sawRetryAfter = true
+			}
+			rejected++
+		case <-timeout:
+			t.Fatalf("only %d in-flight rejections before timeout", rejected)
+		}
+	}
+	if !sawRetryAfter {
+		t.Fatal("in-flight 429s must carry the configured Retry-After header")
+	}
+	close(gate)
+	wg.Wait()
+	close(results)
+	completed := 0
+	for o := range results {
+		if o.status == http.StatusOK {
+			completed++
+		}
+	}
+	if completed != 2 {
+		t.Fatalf("completed %d requests, want exactly the 2 admitted ones", completed)
+	}
+
+	// The cap is observable: the server exports the in-flight gauges.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "advhunter_inflight_capacity 2") {
+		t.Fatalf("/metrics missing advhunter_inflight_capacity 2:\n%s", body)
+	}
+}
+
 // TestServeTimeout: a request whose budget expires while the pool is gated
 // answers 504 and is dropped from its batch.
 func TestServeTimeout(t *testing.T) {

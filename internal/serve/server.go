@@ -57,6 +57,16 @@ type Config struct {
 	ClassName func(int) string
 	// RetryAfter is the Retry-After hint on 429s, in seconds (default 1).
 	RetryAfter int
+	// MaxInflight caps requests concurrently admitted into the handler —
+	// the connection-level backpressure knob, independent of QueueSize.
+	// QueueSize bounds jobs *waiting* for a batch slot, but a closed-loop
+	// client holds its connection through decode, measurement, and the
+	// response write as well: total in-flight work is queued + in-batch +
+	// awaiting-write, and with enough concurrent clients that sum grows
+	// beyond the queue bound without a single 429. A positive MaxInflight
+	// caps it (excess requests answer 429 + Retry-After before their body
+	// is read); 0 leaves it unlimited, the historical behaviour.
+	MaxInflight int
 	// TruthCacheSize caps the fingerprint-keyed truth-count memoisation
 	// cache shared by the replica pool: a repeated query pays the simulated
 	// inference once, and the cached noise-free counts are re-noised per
@@ -177,10 +187,11 @@ type Server struct {
 	twinWorkers []*twin.Measurer // twin replica pool, aligned with workers
 	twinTruth   *core.TruthCache // twin-tier truth memoisation; never shared with truth
 
-	queue chan *job
-	truth *core.TruthCache // nil when memoisation is disabled or Tier is twin-only
-	next  atomic.Uint64    // server-assigned indices for index-less requests
-	rids  atomic.Uint64    // request ids for log correlation (distinct from idx)
+	queue    chan *job
+	inflight chan struct{}    // admission tokens; nil when MaxInflight is 0
+	truth    *core.TruthCache // nil when memoisation is disabled or Tier is twin-only
+	next     atomic.Uint64    // server-assigned indices for index-less requests
+	rids     atomic.Uint64    // request ids for log correlation (distinct from idx)
 
 	draining  atomic.Bool
 	enqueuers sync.WaitGroup // handlers between admission check and enqueue
@@ -252,11 +263,15 @@ func New(m *core.Measurer, det detect.Detector, cfg Config) *Server {
 			s.twinWorkers[w] = cfg.Twin.Clone()
 		}
 	}
+	if cfg.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
 	if s.logger == nil {
 		s.logger = slog.Default()
 	}
 	s.tracer = obs.NewTracer(s.stats.reg, s.logger)
 	s.stats.registerQueueGauges(s.queue)
+	s.stats.registerInflight(s.inflight)
 	if cfg.TruthCacheSize > 0 {
 		// Twin and exact truths for the same input differ, so each tier that
 		// can serve gets its own cache; the twin-only tier never simulates and
@@ -495,6 +510,20 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, "use POST")
 		status(http.StatusMethodNotAllowed)
 		return
+	}
+	// Connection-level backpressure: acquire an in-flight token before even
+	// reading the body, so an over-concurrent closed-loop client is turned
+	// away at the cheapest possible point.
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", s.cfg.RetryAfter))
+			s.writeError(w, http.StatusTooManyRequests, "too many in-flight requests")
+			status(http.StatusTooManyRequests)
+			return
+		}
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
 	if err != nil {

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"advhunter/internal/persist"
+)
+
+// fuzzTrace builds a small valid trace for seeding the corpus.
+func fuzzTrace(t testing.TB) *Trace {
+	t.Helper()
+	tr, err := Generate(Config{
+		Name: "fuzz-seed", Seed: 31,
+		Arrival: ArrivalSpec{Kind: Poisson, Rate: 200},
+		Mix:     Mix{{Name: "clean", Weight: 1, Pool: tinySamples(3, 0.4)}},
+		Horizon: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// FuzzTraceDecode: no input bytes may panic the decoder, and every
+// successfully decoded trace must round-trip (re-encode, re-decode, and
+// re-encode to the same bytes).
+func FuzzTraceDecode(f *testing.F) {
+	valid, err := fuzzTrace(f).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("not a gob envelope at all"))
+	if stale, err := persist.Encode(TraceSchema+1, fuzzTrace(f)); err == nil {
+		f.Add(stale)
+	}
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		tr, err := DecodeTrace(raw)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		enc, err := tr.Encode()
+		if err != nil {
+			t.Fatalf("decoded trace failed to re-encode: %v", err)
+		}
+		tr2, err := DecodeTrace(enc)
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		enc2, err := tr2.Encode()
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatal("decode/encode round trip is not a fixed point")
+		}
+	})
+}
+
+// TestTryLoadTraceMisses: corrupt bytes, stale schemas, structural damage,
+// and absent files all read as cache misses, never as errors or panics.
+func TestTryLoadTraceMisses(t *testing.T) {
+	dir := t.TempDir()
+	tr := fuzzTrace(t)
+
+	write := func(name string, raw []byte) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	if _, ok := TryLoadTrace(filepath.Join(dir, "absent.gob")); ok {
+		t.Fatal("absent file loaded")
+	}
+
+	valid, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := TryLoadTrace(write("truncated.gob", valid[:len(valid)-7])); ok {
+		t.Fatal("truncated trace loaded")
+	}
+	if _, ok := TryLoadTrace(write("garbage.gob", []byte("witch's brew"))); ok {
+		t.Fatal("garbage loaded")
+	}
+
+	stale, err := persist.Encode(TraceSchema+1, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := TryLoadTrace(write("stale.gob", stale)); ok {
+		t.Fatal("stale-schema trace loaded")
+	}
+
+	// Structurally broken: an empty body slips past gob but not validate.
+	broken := *tr
+	broken.Events = append([]Event(nil), tr.Events...)
+	broken.Events[0].Body = nil
+	raw, err := broken.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := TryLoadTrace(write("broken.gob", raw)); ok {
+		t.Fatal("structurally broken trace loaded")
+	}
+
+	// The valid recording still loads — the misses above are not a general
+	// refusal.
+	if _, ok := TryLoadTrace(write("valid.gob", valid)); !ok {
+		t.Fatal("valid trace failed to load")
+	}
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is one parsed /metrics scrape: full series key (metric name plus
+// its rendered label block) → value. Histograms contribute their _bucket,
+// _sum and _count series individually.
+type Snapshot map[string]float64
+
+// ParseMetrics parses Prometheus text exposition (the subset internal/obs
+// renders: "name{labels} value" lines plus # comments) into a Snapshot.
+// Unparsable lines are skipped — the collector degrades, it does not fail.
+func ParseMetrics(text []byte) Snapshot {
+	s := make(Snapshot)
+	sc := bufio.NewScanner(bytes.NewReader(text))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Label values may contain escaped spaces only inside quotes; the
+		// exposition format puts the value after the LAST space.
+		cut := strings.LastIndexByte(line, ' ')
+		if cut <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[cut+1:], 64)
+		if err != nil {
+			continue
+		}
+		s[line[:cut]] = v
+	}
+	return s
+}
+
+// Scrape fetches and parses one /metrics page.
+func Scrape(client *http.Client, base string) (Snapshot, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("workload: GET %s/metrics: status %d", base, resp.StatusCode)
+	}
+	return ParseMetrics(body), nil
+}
+
+// Get returns the value of one series, 0 when absent.
+func (s Snapshot) Get(series string) float64 { return s[series] }
+
+// DeltaFrom returns after−before per series, clamped at 0 (counters only
+// move up; a series absent before counts from 0). Series present only in
+// before are dropped.
+func (s Snapshot) DeltaFrom(before Snapshot) Snapshot {
+	d := make(Snapshot, len(s))
+	for k, v := range s {
+		dv := v - before[k]
+		if dv < 0 {
+			dv = 0
+		}
+		d[k] = dv
+	}
+	return d
+}

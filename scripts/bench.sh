@@ -1,29 +1,32 @@
 #!/usr/bin/env sh
-# Benchmark harness for the analytical-twin tiered serving path (PR 6).
+# Benchmark harness for the load-harness PR (PR 7): the micro-benchmark
+# families that bracket the serving stack — end-to-end inference, the batch
+# measurement set, the cache demand-access hot loop, the matmul kernel, and
+# the serve-level tier benchmarks (full HTTP handler: decode, queue, measure,
+# score, encode) — plus the NEW serve-level loadgen sweep: `advhunter loadgen
+# -sweep` boots one server per tier {exact, twin, auto} over scenario S1 and
+# drives each with three traffic shapes {poisson, bursty, closed}, recording
+# client-observed latency quantiles, throughput, backpressure rates, and the
+# server-side /metrics deltas (truth-cache hits, tier escalations, queue
+# depth) into the "serve" section of the output.
 #
-# Runs the benchmark families that bracket the serving stack — end-to-end
-# inference, the batch measurement set, the cache demand-access hot loop, the
-# matmul kernel, and the serve-level tier benchmarks (full HTTP handler:
-# decode, queue, measure, score, encode) — with -benchmem -count=6, and
-# writes BENCH_6.json containing the freshly measured numbers next to the
-# committed pre-PR baseline (the PR 5 results, same host class: Intel Xeon
-# @ 2.10GHz).
+# Micro-benchmarks run with -benchmem -count=6; per benchmark we record the
+# MINIMUM ns/op across the six runs: this host class is a shared tenant and
+# the minimum is the least-noise estimator of the true cost. B/op and
+# allocs/op are stable across runs and recorded verbatim. The serve
+# benchmarks additionally report per-request latency quantiles (p50-ns /
+# p99-ns, also minimised across runs); the headline "serve_tier_p50_ratio" is
+# exact-nocache p50 over twin p50 — the speedup a twin-screened request sees
+# relative to a full simulator replay.
 #
-# Per benchmark we record the MINIMUM ns/op across the six runs: this host
-# class is a shared tenant and the minimum is the least-noise estimator of
-# the true cost. B/op and allocs/op are stable across runs and recorded
-# verbatim. The serve benchmarks additionally report per-request latency
-# quantiles (p50-ns / p99-ns, also minimised across runs); the headline
-# "serve_tier_p50_ratio" is exact-nocache p50 over twin p50 — the speedup a
-# twin-screened request sees relative to a full simulator replay.
-#
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_6.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_7.json)
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_6.json}"
+out="${1:-BENCH_7.json}"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+tmpdir="$(mktemp -d)"
+trap 'rm -f "$raw"; rm -rf "$tmpdir"' EXIT
 
 echo "== engine inference =="
 go test -run=NONE -bench='BenchmarkEngineInfer' -benchmem -count=6 ./internal/engine | tee -a "$raw"
@@ -36,10 +39,17 @@ go test -run=NONE -bench='BenchmarkMatMul64' -benchmem -count=6 ./internal/tenso
 echo "== serve tiers (full handler, per-request quantiles) =="
 go test -run=NONE -bench='BenchmarkServeTier' -benchmem -count=6 ./internal/serve | tee -a "$raw"
 
+echo "== serve-level loadgen sweep (shapes x tiers, scenario S1) =="
+sweep="$tmpdir/sweep.json"
+go build -o "$tmpdir/advhunter" ./cmd/advhunter
+"$tmpdir/advhunter" loadgen -sweep -scenario S1 \
+    -rate 40 -duration 2s -requests 96 -clients 4 \
+    -out "$sweep"
+
 # Aggregate: min ns/op (and min p50-ns/p99-ns where reported) per benchmark,
 # last-seen B/op and allocs/op, then emit JSON with the committed baseline
-# alongside.
-awk '
+# alongside and the loadgen sweep document inlined as the "serve" section.
+awk -v SWEEP="$sweep" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)          # strip GOMAXPROCS suffix if present
@@ -54,23 +64,27 @@ awk '
     if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
 }
 END {
-    # Pre-PR baseline: the PR 5 results (min ns/op over -count=6) on the
-    # parent of this PR'\''s first commit. The serve-tier benchmarks are new
-    # in this PR and have no pre-PR counterpart.
-    base["BenchmarkEngineInferSimpleCNN"]  = "4324060 5533 0"
-    base["BenchmarkEngineInferResNet18"]   = "5938090 8828 8"
-    base["BenchmarkMeasureSet/workers=1"]  = "127184000 138153 32"
-    base["BenchmarkMeasureSet/workers=2"]  = "124910000 1266684 319"
-    base["BenchmarkMeasureSet/workers=4"]  = "126844000 3567627 894"
-    base["BenchmarkMeasureSet/workers=8"]  = "128463000 8184326 2048"
-    base["BenchmarkCacheAccess"]           = "20.21 0 0"
-    base["BenchmarkMatMul64"]              = "121800 32832 3"
+    # Pre-PR baseline: the PR 6 results (min ns/op over -count=6) on the
+    # parent of this PR'\''s first commit, same host class.
+    base["BenchmarkEngineInferSimpleCNN"]               = "3195710 4806 0"
+    base["BenchmarkEngineInferResNet18"]                = "4729990 6091 5"
+    base["BenchmarkMeasureSet/workers=1"]               = "106299000 111759 28"
+    base["BenchmarkMeasureSet/workers=2"]               = "91446800 1237572 315"
+    base["BenchmarkMeasureSet/workers=4"]               = "89615300 3541972 893"
+    base["BenchmarkMeasureSet/workers=8"]               = "105530000 6409866 1659"
+    base["BenchmarkCacheAccess"]                        = "17.15 0 0"
+    base["BenchmarkMatMul64"]                           = "126817 32832 3"
+    base["BenchmarkServeTierResNet18/exact-nocache"]    = "5817830 319662 116"
+    base["BenchmarkServeTierResNet18/exact"]            = "473098 319656 116"
+    base["BenchmarkServeTierResNet18/twin-nocache"]     = "1533610 319683 116"
+    base["BenchmarkServeTierResNet18/twin"]             = "418413 319673 116"
+    base["BenchmarkServeTierResNet18/auto"]             = "415683 319669 116"
 
     printf "{\n"
-    printf "  \"pr\": 6,\n"
+    printf "  \"pr\": 7,\n"
     printf "  \"count\": 6,\n"
     printf "  \"metric\": \"min ns/op (and min p50-ns/p99-ns) over count runs; B/op and allocs/op are stable\",\n"
-    printf "  \"baseline\": \"PR 5 results on the pre-PR parent commit, Intel Xeon @ 2.10GHz\",\n"
+    printf "  \"baseline\": \"PR 6 results on the pre-PR parent commit, Intel Xeon @ 2.10GHz\",\n"
     printf "  \"benchmarks\": {\n"
     for (i = 1; i <= n; i++) {
         name = order[i]
@@ -88,7 +102,16 @@ END {
     exact = p50["BenchmarkServeTierResNet18/exact-nocache"]
     twin = p50["BenchmarkServeTierResNet18/twin"]
     ratio = (exact > 0 && twin > 0) ? exact / twin : 0
-    printf "  \"serve_tier_p50_ratio\": %.1f\n", ratio
+    printf "  \"serve_tier_p50_ratio\": %.1f,\n", ratio
+    # Inline the loadgen sweep document: serve-level quantiles, throughput,
+    # and /metrics deltas for every shape x tier pair.
+    printf "  \"serve\": "
+    first = 1
+    while ((getline line < SWEEP) > 0) {
+        if (first) { printf "%s\n", line; first = 0 }
+        else printf "  %s\n", line
+    }
+    close(SWEEP)
     printf "}\n"
 }' "$raw" > "$out"
 

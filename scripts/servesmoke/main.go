@@ -2,7 +2,9 @@
 // it launches a built advhunter binary as a real child process, waits for the
 // listener announcement, scrapes /metrics (holding the output to the strict
 // exposition linter and to a multi-layer series checklist), pulls a pprof
-// heap profile, and then checks the SIGTERM drain path exits cleanly.
+// heap profile, runs a short `advhunter loadgen` burst against the live
+// listener (asserting the report parses and the client exposition lints), and
+// then checks the SIGTERM drain path exits cleanly.
 //
 // It runs against scenario S1, whose model and validation measurements are
 // committed under artifacts/cache, so startup is seconds, not minutes.
@@ -10,12 +12,14 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -124,6 +128,10 @@ func run(bin, scenario string) error {
 		return fmt.Errorf("/debug/build body %q missing go_version", build)
 	}
 
+	if err := loadgenSmoke(bin, scenario, base); err != nil {
+		return err
+	}
+
 	// Graceful drain: SIGTERM must produce a clean exit.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return err
@@ -138,6 +146,55 @@ func run(bin, scenario string) error {
 	case <-time.After(time.Minute):
 		return fmt.Errorf("serve did not exit within 1m of SIGTERM")
 	}
+	return nil
+}
+
+// loadgenSmoke drives the live server with a short open-loop Poisson run via
+// `advhunter loadgen -target`, then asserts the JSON report parses with a
+// plausible shape and the client-side metrics exposition passes the strict
+// linter — the end-to-end check on the PR-7 load harness.
+func loadgenSmoke(bin, scenario, base string) error {
+	dir, err := os.MkdirTemp("", "loadgen-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	expo := filepath.Join(dir, "client-metrics.prom")
+
+	lg := exec.Command(bin, "loadgen",
+		"-target", base,
+		"-scenario", scenario,
+		"-shape", "poisson", "-rate", "20", "-duration", "2s",
+		"-cohorts", "clean=3,repeat=1", // no attack crafting: the smoke stays fast
+		"-json", "-expo", expo,
+		"-log-format", "json", "-log-level", "warn")
+	lg.Stderr = os.Stderr
+	out, err := lg.Output()
+	if err != nil {
+		return fmt.Errorf("loadgen against %s: %w", base, err)
+	}
+	var rep struct {
+		Requests  int     `json:"requests"`
+		Completed int     `json:"completed"`
+		Wall      float64 `json:"wall_seconds"`
+	}
+	if err := json.Unmarshal(out, &rep); err != nil {
+		return fmt.Errorf("loadgen report is not JSON: %w\n%s", err, out)
+	}
+	if rep.Requests == 0 || rep.Completed == 0 || rep.Wall <= 0 {
+		return fmt.Errorf("loadgen report looks empty: %s", out)
+	}
+	exposition, err := os.ReadFile(expo)
+	if err != nil {
+		return err
+	}
+	if err := obs.Lint(exposition); err != nil {
+		return fmt.Errorf("loadgen exposition failed the linter: %w\n%s", err, exposition)
+	}
+	if !strings.Contains(string(exposition), "advhunter_loadgen_requests_total") {
+		return fmt.Errorf("loadgen exposition missing client counters:\n%s", exposition)
+	}
+	fmt.Printf("servesmoke: loadgen completed %d/%d requests in %.2fs\n", rep.Completed, rep.Requests, rep.Wall)
 	return nil
 }
 

@@ -2,8 +2,9 @@
 # Repository verification: formatting and vet gates, the tier-1 build+test
 # gate, plus the race-detector pass over the packages that fan out over
 # goroutines (the measurement pipeline, its engine replicas, the parallel
-# primitive, the detector evaluator, and the online serving layer) and over
-# the cache run-path differential tests, which must also hold under -race.
+# primitive, the detector evaluator, the online serving layer, and the load
+# harness that hammers it from concurrent clients) and over the cache
+# run-path differential tests, which must also hold under -race.
 # Full ./... under -race is too slow for CI; the concurrency all lives
 # behind these packages.
 set -eu
@@ -30,13 +31,13 @@ go vet ./examples/...
 echo "== test =="
 go test ./...
 
-echo "== race (parallel pipeline + detection + serving + twin + observability + cache runs) =="
-go test -race ./internal/parallel ./internal/core ./internal/engine ./internal/detect ./internal/serve ./internal/twin ./internal/obs ./internal/uarch/cache
+echo "== race (parallel pipeline + detection + serving + twin + observability + workload + cache runs) =="
+go test -race ./internal/parallel ./internal/core ./internal/engine ./internal/detect ./internal/serve ./internal/twin ./internal/obs ./internal/workload ./internal/uarch/cache
 
 echo "== bench smoke (compile + one iteration of every benchmark) =="
 go test -run=NONE -bench=. -benchtime=1x ./...
 
-echo "== serve smoke (/metrics + pprof + graceful drain) =="
+echo "== serve smoke (/metrics + pprof + loadgen burst + graceful drain) =="
 smoketmp="$(mktemp -d)"
 trap 'rm -rf "$smoketmp"' EXIT
 go build -o "$smoketmp/advhunter" ./cmd/advhunter
