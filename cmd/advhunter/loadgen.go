@@ -3,157 +3,21 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
-	"net"
-	"net/http"
 	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
-	"advhunter/internal/data"
+	"advhunter/internal/cluster"
 	"advhunter/internal/detect"
 	"advhunter/internal/experiments"
 	"advhunter/internal/serve"
-	"advhunter/internal/twin"
-	"advhunter/internal/uarch/hpc"
 	"advhunter/internal/workload"
 )
-
-// serveOpts holds the serving-stack flags shared by `serve` and the load
-// generator's self-boot path — one registration point, so a server booted by
-// `loadgen` is configured exactly like one booted by `serve`.
-type serveOpts struct {
-	queue       *int
-	maxBatch    *int
-	batchWait   *time.Duration
-	timeout     *time.Duration
-	event       *string
-	truthCache  *int
-	maxInflight *int
-	tier        *string
-	twinDir     *string
-	margin      *float64
-}
-
-func serveFlags(fs *flag.FlagSet) serveOpts {
-	return serveOpts{
-		queue:       fs.Int("queue", 64, "admission queue capacity (full queue answers 429)"),
-		maxBatch:    fs.Int("max-batch", 8, "micro-batch size cap"),
-		batchWait:   fs.Duration("batch-wait", 2*time.Millisecond, "micro-batcher linger after the first queued request"),
-		timeout:     fs.Duration("timeout", 10*time.Second, "per-request budget including queueing"),
-		event:       fs.String("event", hpc.CacheMisses.String(), "perf event driving the adversarial verdict"),
-		truthCache:  fs.Int("truth-cache", 512, "truth-count memoisation cache entries (0 disables)"),
-		maxInflight: fs.Int("max-inflight", 0, "cap on concurrently admitted requests, independent of -queue (0 = unlimited)"),
-		tier:        fs.String("tier", serve.TierExact, "serving tier: exact, twin (analytical twin only), or auto (twin screens, uncertain verdicts escalate to exact)"),
-		twinDir:     fs.String("twin-dir", "artifacts/twin", "precomputed twin-table directory (tables are profiled on a miss; used when -tier is twin or auto)"),
-		margin:      fs.Float64("margin", 0.15, "auto-tier escalation band around the detector threshold (0 = default, negative = never escalate)"),
-	}
-}
-
-// validate rejects bad tier and decision-event selections — cheap checks run
-// before any model loads, so a typo fails in milliseconds, not after
-// training.
-func (o serveOpts) validate() error {
-	switch *o.tier {
-	case serve.TierExact, serve.TierTwin, serve.TierAuto:
-	default:
-		return fmt.Errorf("unknown tier %q (have %s, %s, %s)", *o.tier, serve.TierExact, serve.TierTwin, serve.TierAuto)
-	}
-	_, err := hpc.ParseEvent(*o.event)
-	return err
-}
-
-// config builds the serve.Config, loading the twin stack when the tier needs
-// it. tier overrides the -tier flag when non-empty (the sweep boots one
-// server per tier). Call validate first.
-func (o serveOpts) config(env *experiments.Env, dopts detectorOpts, det *detect.Fitted,
-	workers int, logger *slog.Logger, tier string) (serve.Config, error) {
-	if tier == "" {
-		tier = *o.tier
-	}
-	decision, err := hpc.ParseEvent(*o.event)
-	if err != nil {
-		return serve.Config{}, err
-	}
-	// The flag's 0 means "off"; the Config's 0 means "default" and negative
-	// means "off" (so the zero Config still serves with memoisation on).
-	truthSize := *o.truthCache
-	if truthSize <= 0 {
-		truthSize = -1
-	}
-	dataset := env.Scn.Dataset
-	cfg := serve.Config{
-		QueueSize:      *o.queue,
-		Workers:        workers,
-		MaxBatch:       *o.maxBatch,
-		BatchWait:      *o.batchWait,
-		Timeout:        *o.timeout,
-		DecisionEvent:  decision,
-		ClassName:      func(c int) string { return data.ClassName(dataset, c) },
-		Logger:         logger,
-		TruthCacheSize: truthSize,
-		MaxInflight:    *o.maxInflight,
-	}
-	if tier != serve.TierExact {
-		dcfg, err := dopts.config()
-		if err != nil {
-			return serve.Config{}, err
-		}
-		// The twin screens with a detector of the same backend as the exact
-		// tier's, recalibrated on twin-measured counts (TwinBackend explains
-		// why thresholds fitted on exact counts would misfire on twin
-		// readings). The table loads from -twin-dir when fresh — write it
-		// ahead of time with `advhunter twin-profile` — and is silently
-		// re-profiled on any model/machine hash mismatch.
-		tm, tdet, _, err := env.TwinBackend(filepath.Join(*o.twinDir, env.Scn.ID+".gob"), twin.DefaultKnots, det.Kind(), dcfg)
-		if err != nil {
-			return serve.Config{}, err
-		}
-		cfg.Tier = tier
-		cfg.Twin = tm
-		cfg.TwinDetector = tdet
-		cfg.EscalationMargin = *o.margin
-	}
-	return cfg, nil
-}
-
-// bootedServer is one in-process serve instance the load generator drives
-// when no -target is given.
-type bootedServer struct {
-	base string
-	srv  *serve.Server
-	http *http.Server
-	ln   net.Listener
-}
-
-// bootServer starts a serve instance on a kernel-picked loopback port.
-func bootServer(env *experiments.Env, det *detect.Fitted, cfg serve.Config) (*bootedServer, error) {
-	srv := serve.New(env.Meas.Clone(), det, cfg)
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, err
-	}
-	hs := &http.Server{Handler: srv.Handler()}
-	go func() {
-		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			slog.Error("loadgen server", slog.String("err", err.Error()))
-		}
-	}()
-	return &bootedServer{base: "http://" + ln.Addr().String(), srv: srv, http: hs, ln: ln}, nil
-}
-
-func (b *bootedServer) shutdown() {
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-	b.srv.Shutdown(ctx)
-	b.http.Shutdown(ctx)
-}
 
 // parseCohorts turns a "clean=6,fgsm=2,repeat=2" spec into a workload mix,
 // crafting the adversarial pools through the scenario's attack cache. hot is
@@ -197,10 +61,32 @@ func parseCohorts(env *experiments.Env, spec string, hot int, eps float64) (work
 	return mix, nil
 }
 
-// sweepResult is the JSON envelope scripts/bench.sh appends to BENCH_7.json.
+// sweepResult is the JSON envelope scripts/bench.sh appends to BENCH_8.json.
 type sweepResult struct {
 	Scenario string             `json:"scenario"`
 	Runs     []*workload.Report `json:"runs"`
+	Cluster  *clusterSection    `json:"cluster,omitempty"`
+}
+
+// clusterSection is the sweep document's cluster block: the saturation
+// sweeps (knee per policy × replica count) and the truth-cache locality
+// comparison between routing policies.
+type clusterSection struct {
+	SaturationTier string                      `json:"saturation_tier"`
+	Rates          []float64                   `json:"rates"`
+	Saturation     []*cluster.SaturationResult `json:"saturation"`
+	LocalityTier   string                      `json:"locality_tier"`
+	Locality       []localityPoint             `json:"locality"`
+}
+
+// localityPoint is one policy's fleet-wide truth-cache outcome under the
+// repeat-heavy locality workload (identical request stream per policy).
+type localityPoint struct {
+	Policy       string  `json:"policy"`
+	Replicas     int     `json:"replicas"`
+	TruthHits    float64 `json:"truth_hits"`
+	TruthMisses  float64 `json:"truth_misses"`
+	TruthHitRate float64 `json:"truth_hit_rate"`
 }
 
 func cmdLoadgen(args []string, stdout, stderr io.Writer) error {
@@ -227,8 +113,9 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) error {
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request client budget")
 	asJSON := fs.Bool("json", false, "emit the report as JSON instead of text")
 	expo := fs.String("expo", "", "write the client-side metrics exposition to this file")
-	sweep := fs.Bool("sweep", false, "run the bench sweep — shapes {poisson,bursty,closed} × tiers {exact,twin,auto} — self-booting one server per tier; ignores -target/-shape/-tier")
+	sweep := fs.Bool("sweep", false, "run the bench sweep — shapes {poisson,bursty,closed} × tiers {exact,twin,auto}, then the cluster saturation/locality sweeps — self-booting each server; ignores -target/-shape/-tier")
 	out := fs.String("out", "", "with -sweep: write the sweep JSON to this file (default stdout)")
+	clusterOut := fs.String("cluster-out", "", "with -sweep: also write just the cluster section to this file (for bench-script inlining)")
 	sopts := serveFlags(fs)
 	dopts := detectorFlags(fs)
 	copts := commonFlags(fs)
@@ -258,7 +145,7 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) error {
 	if *sweep {
 		return runSweep(env, dopts, sopts, copts, mix, logger, sweepParams{
 			rate: *rate, duration: *duration, requests: *requests, clients: *clients,
-			seed: *loadSeed, timeout: *reqTimeout, out: *out,
+			seed: *loadSeed, timeout: *reqTimeout, out: *out, clusterOut: *clusterOut,
 		}, stdout, stderr)
 	}
 
@@ -297,11 +184,7 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) error {
 
 	base := *target
 	if base == "" {
-		det, err := loadOrFitDetector(env, dopts)
-		if err != nil {
-			return err
-		}
-		cfg, err := sopts.config(env, dopts, det, *copts.workers, logger, "")
+		det, cfg, err := buildServeStack(env, dopts, sopts, copts, logger, "")
 		if err != nil {
 			return err
 		}
@@ -344,18 +227,20 @@ func cmdLoadgen(args []string, stdout, stderr io.Writer) error {
 
 // sweepParams carries the sweep's sizing knobs.
 type sweepParams struct {
-	rate     float64
-	duration time.Duration
-	requests int
-	clients  int
-	seed     uint64
-	timeout  time.Duration
-	out      string
+	rate       float64
+	duration   time.Duration
+	requests   int
+	clients    int
+	seed       uint64
+	timeout    time.Duration
+	out        string
+	clusterOut string
 }
 
 // runSweep is the serve-level bench harness: for each tier it boots a fresh
-// server and drives it with each traffic shape, emitting one JSON document
-// with every report — the "serve" section of BENCH_7.json.
+// server and drives it with each traffic shape, then runs the cluster
+// saturation and locality sweeps — one JSON document with every report, the
+// "serve" section of BENCH_8.json.
 func runSweep(env *experiments.Env, dopts detectorOpts, sopts serveOpts, copts commonOpts,
 	mix workload.Mix, logger *slog.Logger, p sweepParams, stdout, stderr io.Writer) error {
 	det, err := loadOrFitDetector(env, dopts)
@@ -406,6 +291,27 @@ func runSweep(env *experiments.Env, dopts detectorOpts, sopts serveOpts, copts c
 		}
 		booted.shutdown()
 	}
+
+	result.Cluster, err = runClusterSweep(env, dopts, sopts, det, logger, p, stderr)
+	if err != nil {
+		return err
+	}
+	if p.clusterOut != "" {
+		f, err := os.Create(p.clusterOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(result.Cluster); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
 	w := stdout
 	if p.out != "" {
 		f, err := os.Create(p.out)
@@ -418,4 +324,132 @@ func runSweep(env *experiments.Env, dopts detectorOpts, sopts serveOpts, copts c
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(result)
+}
+
+// runClusterSweep measures the cluster tier two ways.
+//
+// Saturation runs on the twin tier with a deliberately small per-replica
+// in-flight cap and a long micro-batch linger: the twin's µs-scale scoring
+// keeps the shared CPU idle, so the knee measures provisioned concurrency —
+// the thing a fleet planner scales by adding replicas — rather than a CPU
+// ceiling that in-process replicas on one host could never move. Each
+// replica's ceiling is MaxInflight requests per linger window, so doubling
+// the replica count should roughly double the knee rate.
+//
+// Locality runs on the exact tier, where the truth cache is the asset: a
+// repeat-heavy stream is replayed byte-identically against round-robin and
+// fingerprint-affinity routing, and the fleet-wide truth-cache hit rate is
+// read off the merged /metrics page.
+func runClusterSweep(env *experiments.Env, dopts detectorOpts, sopts serveOpts,
+	det *detect.Fitted, logger *slog.Logger, p sweepParams, stderr io.Writer) (*clusterSection, error) {
+	sec := &clusterSection{
+		SaturationTier: serve.TierTwin,
+		Rates:          []float64{60, 120, 240, 480, 960},
+		LocalityTier:   serve.TierExact,
+	}
+
+	scfg, err := sopts.config(env, dopts, det, 1, logger, serve.TierTwin)
+	if err != nil {
+		return nil, err
+	}
+	scfg.Workers = 1
+	scfg.MaxInflight = 4
+	scfg.BatchWait = 10 * time.Millisecond
+
+	// Clean-only traffic: saturation measures capacity, so the mix must not
+	// skew the affinity policy's load balance with a tiny hot set (locality
+	// has its own run below).
+	cleanMix := workload.Mix{{Name: "clean", Weight: 1, Pool: env.DS.Test}}
+
+	sweeps := []struct {
+		policy   string
+		replicas int
+	}{
+		{cluster.PolicyRoundRobin, 1},
+		{cluster.PolicyRoundRobin, 2},
+		{cluster.PolicyLeastLoaded, 2},
+		{cluster.PolicyAffinity, 2},
+	}
+	for ci, cc := range sweeps {
+		booted, err := bootCluster(env, det, scfg, cluster.Config{
+			Replicas: cc.replicas, Policy: cc.policy, Logger: logger,
+		})
+		if err != nil {
+			return nil, err
+		}
+		an := &cluster.SaturationAnalyzer{
+			Base: booted.base,
+			MakeTrace: func(rate float64) (*workload.Trace, error) {
+				return workload.Generate(workload.Config{
+					Name:    fmt.Sprintf("%s-cluster-%s-x%d-r%g", env.Scn.ID, cc.policy, cc.replicas, rate),
+					Seed:    p.seed + 1000 + uint64(ci),
+					Arrival: workload.ArrivalSpec{Kind: workload.Poisson, Rate: rate},
+					Mix:     cleanMix,
+					Horizon: p.duration,
+				})
+			},
+			Run: workload.RunOptions{Clients: 64, Timeout: p.timeout},
+		}
+		res, err := an.Sweep(context.Background(), sec.Rates)
+		booted.shutdown()
+		if err != nil {
+			return nil, fmt.Errorf("cluster sweep %s ×%d: %w", cc.policy, cc.replicas, err)
+		}
+		res.Policy, res.Replicas, res.Tier = cc.policy, cc.replicas, serve.TierTwin
+		sec.Saturation = append(sec.Saturation, res)
+		fmt.Fprintf(stderr, "cluster sweep: %s ×%d — knee %.0f req/s (goodput %.1f qps, p99 %.2fms)\n",
+			cc.policy, cc.replicas, res.KneeRate, res.KneeQPS, res.P99AtKneeMs)
+	}
+
+	lcfg, err := sopts.config(env, dopts, det, 1, logger, serve.TierExact)
+	if err != nil {
+		return nil, err
+	}
+	lcfg.Workers = 1
+	// Repeat-only, hot set of 8: every query recurs ~8 times, so first-visit
+	// misses are the only misses affinity pays, while round-robin pays one
+	// miss per replica a query happens to land on.
+	locMix := workload.Mix{{Name: "repeat", Weight: 1, Pool: env.DS.Test, Hot: 8}}
+	for _, policy := range []string{cluster.PolicyRoundRobin, cluster.PolicyAffinity} {
+		booted, err := bootCluster(env, det, lcfg, cluster.Config{
+			Replicas: 2, Policy: policy, Logger: logger,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// One seed for every policy: the comparison replays the identical
+		// request stream, so the hit-rate delta is pure routing.
+		tr, err := workload.Generate(workload.Config{
+			Name:     env.Scn.ID + "-cluster-locality-" + policy,
+			Seed:     p.seed + 2000,
+			Arrival:  workload.ArrivalSpec{Kind: workload.Closed, Clients: 2},
+			Mix:      locMix,
+			Horizon:  p.duration,
+			Requests: 64,
+		})
+		if err != nil {
+			booted.shutdown()
+			return nil, err
+		}
+		if _, err := workload.Run(context.Background(), booted.base, tr,
+			workload.RunOptions{Clients: 2, Timeout: p.timeout}); err != nil {
+			booted.shutdown()
+			return nil, fmt.Errorf("cluster locality %s: %w", policy, err)
+		}
+		snap, err := workload.Scrape(nil, booted.base)
+		booted.shutdown()
+		if err != nil {
+			return nil, fmt.Errorf("cluster locality %s: scraping: %w", policy, err)
+		}
+		hits := snap.Sum("advhunter_truth_cache_hits_total")
+		misses := snap.Sum("advhunter_truth_cache_misses_total")
+		pt := localityPoint{Policy: policy, Replicas: 2, TruthHits: hits, TruthMisses: misses}
+		if hits+misses > 0 {
+			pt.TruthHitRate = hits / (hits + misses)
+		}
+		sec.Locality = append(sec.Locality, pt)
+		fmt.Fprintf(stderr, "cluster locality: %s ×2 — truth-cache hit rate %.3f (%g hits, %g misses)\n",
+			policy, pt.TruthHitRate, hits, misses)
+	}
+	return sec, nil
 }

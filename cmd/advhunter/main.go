@@ -77,6 +77,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdTwinProfile(args[1:], stdout, stderr)
 	case "serve":
 		err = cmdServe(args[1:], stdout, stderr)
+	case "cluster":
+		err = cmdCluster(args[1:], stdout, stderr)
 	case "loadgen":
 		err = cmdLoadgen(args[1:], stdout, stderr)
 	case "-h", "--help", "help":
@@ -110,6 +112,7 @@ commands:
   scan        run the deployed pipeline on test images and print decisions
   twin-profile  precompute the analytical-twin count tables for a scenario
   serve       run the online detection service (HTTP JSON, /detect)
+  cluster     run the multi-replica serving tier (N replicas behind a routing policy, merged /metrics)
   loadgen     drive a serve instance with synthetic traffic and report latency, throughput, and backpressure
 
 run 'advhunter <command> -h' for flags.`)
@@ -566,11 +569,7 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	det, err := loadOrFitDetector(env, dopts)
-	if err != nil {
-		return err
-	}
-	cfg, err := sopts.config(env, dopts, det, *copts.workers, logger, "")
+	det, cfg, err := buildServeStack(env, dopts, sopts, copts, logger, "")
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,231 @@
+package main
+
+// The serving-stack construction shared by `serve`, `loadgen`, and `cluster`:
+// one flag surface (serveOpts), one detector+config assembly (buildServeStack),
+// one replica factory (replicaBuilder), and the loopback boot helpers the load
+// generator uses when no -target is given. Keeping all three subcommands on
+// this file means a server booted by any of them is configured identically.
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"path/filepath"
+	"time"
+
+	"advhunter/internal/cluster"
+	"advhunter/internal/data"
+	"advhunter/internal/detect"
+	"advhunter/internal/experiments"
+	"advhunter/internal/serve"
+	"advhunter/internal/twin"
+	"advhunter/internal/uarch/hpc"
+)
+
+// serveOpts holds the serving-stack flags shared by `serve`, `cluster`, and
+// the load generator's self-boot path — one registration point, so a server
+// booted by `loadgen` is configured exactly like one booted by `serve`.
+type serveOpts struct {
+	queue       *int
+	maxBatch    *int
+	batchWait   *time.Duration
+	timeout     *time.Duration
+	event       *string
+	truthCache  *int
+	maxInflight *int
+	tier        *string
+	twinDir     *string
+	margin      *float64
+}
+
+func serveFlags(fs *flag.FlagSet) serveOpts {
+	return serveOpts{
+		queue:       fs.Int("queue", 64, "admission queue capacity (full queue answers 429)"),
+		maxBatch:    fs.Int("max-batch", 8, "micro-batch size cap"),
+		batchWait:   fs.Duration("batch-wait", 2*time.Millisecond, "micro-batcher linger after the first queued request"),
+		timeout:     fs.Duration("timeout", 10*time.Second, "per-request budget including queueing"),
+		event:       fs.String("event", hpc.CacheMisses.String(), "perf event driving the adversarial verdict"),
+		truthCache:  fs.Int("truth-cache", 512, "truth-count memoisation cache entries (0 disables)"),
+		maxInflight: fs.Int("max-inflight", 0, "cap on concurrently admitted requests, independent of -queue (0 = unlimited)"),
+		tier:        fs.String("tier", serve.TierExact, "serving tier: exact, twin (analytical twin only), or auto (twin screens, uncertain verdicts escalate to exact)"),
+		twinDir:     fs.String("twin-dir", "artifacts/twin", "precomputed twin-table directory (tables are profiled on a miss; used when -tier is twin or auto)"),
+		margin:      fs.Float64("margin", 0.15, "auto-tier escalation band around the detector threshold (0 = default, negative = never escalate)"),
+	}
+}
+
+// validate rejects bad tier and decision-event selections — cheap checks run
+// before any model loads, so a typo fails in milliseconds, not after
+// training.
+func (o serveOpts) validate() error {
+	switch *o.tier {
+	case serve.TierExact, serve.TierTwin, serve.TierAuto:
+	default:
+		return fmt.Errorf("unknown tier %q (have %s, %s, %s)", *o.tier, serve.TierExact, serve.TierTwin, serve.TierAuto)
+	}
+	_, err := hpc.ParseEvent(*o.event)
+	return err
+}
+
+// config builds the serve.Config, loading the twin stack when the tier needs
+// it. tier overrides the -tier flag when non-empty (the sweep boots one
+// server per tier). Call validate first.
+func (o serveOpts) config(env *experiments.Env, dopts detectorOpts, det *detect.Fitted,
+	workers int, logger *slog.Logger, tier string) (serve.Config, error) {
+	if tier == "" {
+		tier = *o.tier
+	}
+	decision, err := hpc.ParseEvent(*o.event)
+	if err != nil {
+		return serve.Config{}, err
+	}
+	// The flag's 0 means "off"; the Config's 0 means "default" and negative
+	// means "off" (so the zero Config still serves with memoisation on).
+	truthSize := *o.truthCache
+	if truthSize <= 0 {
+		truthSize = -1
+	}
+	dataset := env.Scn.Dataset
+	cfg := serve.Config{
+		QueueSize:      *o.queue,
+		Workers:        workers,
+		MaxBatch:       *o.maxBatch,
+		BatchWait:      *o.batchWait,
+		Timeout:        *o.timeout,
+		DecisionEvent:  decision,
+		ClassName:      func(c int) string { return data.ClassName(dataset, c) },
+		Logger:         logger,
+		TruthCacheSize: truthSize,
+		MaxInflight:    *o.maxInflight,
+	}
+	if tier != serve.TierExact {
+		dcfg, err := dopts.config()
+		if err != nil {
+			return serve.Config{}, err
+		}
+		// The twin screens with a detector of the same backend as the exact
+		// tier's, recalibrated on twin-measured counts (TwinBackend explains
+		// why thresholds fitted on exact counts would misfire on twin
+		// readings). The table loads from -twin-dir when fresh — write it
+		// ahead of time with `advhunter twin-profile` — and is silently
+		// re-profiled on any model/machine hash mismatch.
+		tm, tdet, _, err := env.TwinBackend(filepath.Join(*o.twinDir, env.Scn.ID+".gob"), twin.DefaultKnots, det.Kind(), dcfg)
+		if err != nil {
+			return serve.Config{}, err
+		}
+		cfg.Tier = tier
+		cfg.Twin = tm
+		cfg.TwinDetector = tdet
+		cfg.EscalationMargin = *o.margin
+	}
+	return cfg, nil
+}
+
+// buildServeStack is the one construction path behind `serve`, `cluster`, and
+// the load generator's self-boot: load (or fit) the detector, then assemble
+// the serve.Config from the shared flag surface. tier overrides the -tier
+// flag when non-empty.
+func buildServeStack(env *experiments.Env, dopts detectorOpts, sopts serveOpts, copts commonOpts,
+	logger *slog.Logger, tier string) (*detect.Fitted, serve.Config, error) {
+	det, err := loadOrFitDetector(env, dopts)
+	if err != nil {
+		return nil, serve.Config{}, err
+	}
+	cfg, err := sopts.config(env, dopts, det, *copts.workers, logger, tier)
+	if err != nil {
+		return nil, serve.Config{}, err
+	}
+	return det, cfg, nil
+}
+
+// replicaBuilder returns the cluster replica factory. serve.New takes
+// ownership of the measurer and the twin backend it is handed, so each
+// replica must get its own clones — sharing either across replicas is a data
+// race. The fitted detector is read-only and safely shared, exactly as the
+// single-server path shares it across its worker pool.
+func replicaBuilder(env *experiments.Env, det *detect.Fitted, cfg serve.Config) func(replica int) *serve.Server {
+	return func(int) *serve.Server {
+		rcfg := cfg
+		if rcfg.Twin != nil {
+			rcfg.Twin = cfg.Twin.Clone()
+		}
+		return serve.New(env.Meas.Clone(), det, rcfg)
+	}
+}
+
+// validPolicy reports whether p names a known routing policy — checked up
+// front so a typo returns a usage error instead of cluster.New's panic.
+func validPolicy(p string) bool {
+	for _, q := range cluster.Policies {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// bootedServer is one in-process serve instance the load generator drives
+// when no -target is given.
+type bootedServer struct {
+	base string
+	srv  *serve.Server
+	http *http.Server
+	ln   net.Listener
+}
+
+// bootServer starts a serve instance on a kernel-picked loopback port.
+func bootServer(env *experiments.Env, det *detect.Fitted, cfg serve.Config) (*bootedServer, error) {
+	srv := serve.New(env.Meas.Clone(), det, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			slog.Error("loadgen server", slog.String("err", err.Error()))
+		}
+	}()
+	return &bootedServer{base: "http://" + ln.Addr().String(), srv: srv, http: hs, ln: ln}, nil
+}
+
+func (b *bootedServer) shutdown() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	b.srv.Shutdown(ctx)
+	b.http.Shutdown(ctx)
+}
+
+// bootedCluster is an in-process cluster tier on a loopback port, for the
+// load generator's cluster sweep.
+type bootedCluster struct {
+	base string
+	c    *cluster.Cluster
+	http *http.Server
+}
+
+// bootCluster starts a cluster of replicas on a kernel-picked loopback port.
+func bootCluster(env *experiments.Env, det *detect.Fitted, cfg serve.Config, ccfg cluster.Config) (*bootedCluster, error) {
+	c := cluster.New(ccfg, replicaBuilder(env, det, cfg))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: c.Handler()}
+	go func() {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			slog.Error("loadgen cluster", slog.String("err", err.Error()))
+		}
+	}()
+	return &bootedCluster{base: "http://" + ln.Addr().String(), c: c, http: hs}, nil
+}
+
+func (b *bootedCluster) shutdown() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	b.c.Shutdown(ctx)
+	b.http.Shutdown(ctx)
+}

@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"advhunter/internal/core"
+	"advhunter/internal/obs"
+	"advhunter/internal/serve"
+)
+
+// Config tunes the cluster tier. The zero value runs two round-robin
+// replicas with no cluster-level admission cap.
+type Config struct {
+	// Replicas is the in-process replica count (default 2, minimum 1).
+	Replicas int
+	// Policy selects the routing policy (default PolicyRoundRobin).
+	Policy string
+	// MaxInflight caps requests concurrently admitted into the cluster
+	// handler, on top of each replica's own admission (0: unlimited). The
+	// cluster-level cap is what bounds fleet-wide memory under a flood that
+	// no single replica's gate can see.
+	MaxInflight int
+	// RetryAfter is the Retry-After hint on cluster-level 429s (default 1).
+	RetryAfter int
+	// VNodes is the affinity ring's virtual-node count per replica
+	// (default DefaultVNodes).
+	VNodes int
+	// Logger receives the cluster's structured records. nil selects
+	// slog.Default().
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Policy == "" {
+		c.Policy = PolicyRoundRobin
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 1
+	}
+	return c
+}
+
+// Cluster is the multi-replica serving tier: a Router in front of N
+// serve.Server assemblies, each with its own admission gate, batcher, tier
+// stack, truth caches, and metrics registry (stamped replica="i" and merged
+// onto one /metrics page). Build with New, expose with Handler, stop with
+// Shutdown (which drains every replica).
+type Cluster struct {
+	cfg      Config
+	replicas []*serve.Server
+	router   Router
+	adm      *serve.Admission[struct{}] // token-only gate; replicas do the queueing
+	shape    [3]int
+
+	reg      *obs.Registry
+	routed   []*obs.Counter // per replica, pre-resolved
+	rejected *obs.Counter
+	logger   *slog.Logger
+	mux      *http.ServeMux
+}
+
+// New assembles a cluster, calling build once per replica index to construct
+// each serve.Server. The factory owns per-replica resource cloning (the
+// measurer, the twin backend): serve.New takes ownership of what it is
+// given, so handing two replicas the same measurer is a data race. New
+// stamps each replica's registry with its replica label; the factory must
+// not have exposed the registry to a scrape before New returns.
+func New(cfg Config, build func(replica int) *serve.Server) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg:    cfg,
+		adm:    serve.NewAdmission[struct{}](0, cfg.MaxInflight),
+		reg:    obs.NewRegistry(),
+		logger: cfg.Logger,
+	}
+	if c.logger == nil {
+		c.logger = slog.Default()
+	}
+	c.replicas = make([]*serve.Server, cfg.Replicas)
+	regs := make([]*obs.Registry, 0, cfg.Replicas+2)
+	regs = append(regs, c.reg)
+	for i := range c.replicas {
+		c.replicas[i] = build(i)
+		c.replicas[i].Registry().SetConstLabels("replica", strconv.Itoa(i))
+		regs = append(regs, c.replicas[i].Registry())
+	}
+	c.shape = c.replicas[0].Shape()
+
+	router, err := newRouter(cfg.Policy, c.replicas, cfg.VNodes)
+	if err != nil {
+		panic(err.Error()) // a configuration error, like serve's unknown tier
+	}
+	c.router = router
+
+	c.reg.Gauge("advhunter_cluster_replicas", "Cluster replica count.").With().Set(float64(cfg.Replicas))
+	routedVec := c.reg.Counter("advhunter_cluster_routed_total",
+		"Requests routed to each replica.", "policy", "replica")
+	c.routed = make([]*obs.Counter, cfg.Replicas)
+	for i := range c.routed {
+		c.routed[i] = routedVec.With(cfg.Policy, strconv.Itoa(i))
+	}
+	c.rejected = c.reg.Counter("advhunter_cluster_rejected_total",
+		"Requests rejected by cluster-level admission (429).").With()
+	if c.adm.InflightCapacity() > 0 {
+		c.reg.GaugeFunc("advhunter_cluster_inflight_requests",
+			"Requests concurrently admitted into the cluster handler.",
+			func() float64 { return float64(c.adm.InflightDepth()) })
+		c.reg.GaugeFunc("advhunter_cluster_inflight_capacity",
+			"Config.MaxInflight: the cluster-level in-flight cap.",
+			func() float64 { return float64(c.adm.InflightCapacity()) })
+	}
+
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("/detect", c.handleDetect)
+	c.mux.HandleFunc("/healthz", c.handleHealthz)
+	c.mux.HandleFunc("/readyz", c.handleReadyz)
+	// One scrape sees every layer: the cluster's own registry, each
+	// replica's serve registry under its replica label (merged into one
+	// family block per name), and the process-wide registry.
+	c.mux.Handle("/metrics", obs.MergedHandler(append(regs, obs.Default)...))
+	c.mux.Handle("/debug/build", obs.BuildInfoHandler())
+	return c
+}
+
+// Handler returns the cluster's HTTP handler.
+func (c *Cluster) Handler() http.Handler { return c.mux }
+
+// Replicas returns the live replica set (do not mutate).
+func (c *Cluster) Replicas() []*serve.Server { return c.replicas }
+
+// Policy returns the active routing policy name.
+func (c *Cluster) Policy() string { return c.router.Policy() }
+
+// Shutdown drains the cluster: the cluster gate stops admitting, then every
+// replica drains concurrently. The first replica error (or the context's)
+// is returned.
+func (c *Cluster) Shutdown(ctx context.Context) error {
+	c.adm.Close()
+	errs := make([]error, len(c.replicas))
+	var wg sync.WaitGroup
+	for i, s := range c.replicas {
+		wg.Add(1)
+		go func(i int, s *serve.Server) {
+			defer wg.Done()
+			errs[i] = s.Shutdown(ctx)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handleDetect admits, routes, and delegates one detection request. The
+// chosen replica's handler does all the real work — decode validation,
+// per-replica admission, the verdict, the response bytes — so a cluster of
+// one replica answers byte-identically to that replica served directly.
+func (c *Cluster) handleDetect(w http.ResponseWriter, r *http.Request) {
+	release, ok := c.adm.TryAcquire()
+	if !ok {
+		c.rejected.Inc()
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", c.cfg.RetryAfter))
+		c.writeError(w, http.StatusTooManyRequests, "cluster at capacity")
+		return
+	}
+	defer release()
+	if c.adm.Draining() {
+		c.writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+
+	// The affinity policy needs the query fingerprint, which means reading
+	// the body here; the other policies route without touching it. Raw body
+	// bytes cannot serve as the key — two replays of one query differ in
+	// their index field — so the key is the decoded tensor's fingerprint,
+	// the same one the replica's truth cache uses.
+	fp, fpOK := uint64(0), false
+	if c.router.Policy() == PolicyAffinity && r.Method == http.MethodPost {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, serve.MaxRequestBytes))
+		if err != nil {
+			c.writeError(w, http.StatusBadRequest, "request body too large or unreadable")
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		r.ContentLength = int64(len(body))
+		if req, err := serve.DecodeRequest(body, c.shape); err == nil {
+			fp, fpOK = core.Fingerprint(req.Tensor()), true
+		}
+	}
+	target := c.router.Route(fp, fpOK)
+	c.routed[target].Inc()
+	c.replicas[target].Handler().ServeHTTP(w, r)
+}
+
+func (c *Cluster) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+func (c *Cluster) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if c.adm.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ready\n")
+}
+
+// writeError mirrors serve's JSON error shape so clients see one error
+// contract regardless of which layer rejected them.
+func (c *Cluster) writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,294 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"advhunter/internal/core"
+	"advhunter/internal/data"
+	"advhunter/internal/detect"
+	"advhunter/internal/engine"
+	"advhunter/internal/models"
+	"advhunter/internal/obs"
+	"advhunter/internal/serve"
+	"advhunter/internal/tensor"
+	"advhunter/internal/uarch/hpc"
+	"advhunter/internal/workload"
+)
+
+// fixture is deliberately lighter than the serve package's: routing and
+// cache-locality properties do not depend on detection quality, so the model
+// is left untrained — only the measurer and a fitted detector (any verdicts)
+// are needed.
+type fixture struct {
+	meas   *core.Measurer
+	det    *detect.Fitted
+	inputs []*tensor.Tensor
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixture
+)
+
+func getFixture(t testing.TB) *fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		ds := data.MustSynth("fashionmnist", 99, 24, 12)
+		m := models.MustBuild("simplecnn", ds.C, ds.H, ds.W, ds.Classes, 9)
+		meas := core.NewMeasurer(engine.NewDefault(m), 4321)
+		tpl := core.BuildTemplate(meas.Clone(), ds.Train, ds.Classes, hpc.CoreEvents())
+		det, err := detect.Fit("gmm", tpl, detect.DefaultConfig())
+		if err != nil {
+			return
+		}
+		inputs := make([]*tensor.Tensor, 0, len(ds.Test))
+		for i := range ds.Test {
+			inputs = append(inputs, ds.Test[i].X)
+		}
+		fix = &fixture{meas: meas, det: det, inputs: inputs}
+	})
+	if fix == nil {
+		t.Fatal("cluster fixture failed to build")
+	}
+	return fix
+}
+
+// newCluster boots a cluster (and its cleanup) where every replica is a
+// fresh single-worker exact-tier server around its own measurer clone.
+func newCluster(t *testing.T, f *fixture, cfg Config) (*Cluster, *httptest.Server) {
+	t.Helper()
+	c := New(cfg, func(int) *serve.Server {
+		return serve.New(f.meas.Clone(), f.det, serve.Config{Workers: 1})
+	})
+	ts := httptest.NewServer(c.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		c.Shutdown(ctx)
+		ts.Close()
+	})
+	return c, ts
+}
+
+func post(t *testing.T, url string, req serve.Request) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/detect", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// scrapeHitRate reads the fleet-wide truth-cache hit rate off /metrics.
+func scrapeHitRate(t *testing.T, url string) float64 {
+	t.Helper()
+	snap, err := workload.Scrape(nil, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := snap.Sum("advhunter_truth_cache_hits_total")
+	misses := snap.Sum("advhunter_truth_cache_misses_total")
+	if hits+misses == 0 {
+		t.Fatal("no truth-cache traffic recorded")
+	}
+	return hits / (hits + misses)
+}
+
+// TestClusterSingleReplicaByteIdentical: a cluster of one replica answers
+// exactly what that replica would answer served directly — routing adds no
+// bytes. With every policy, since each must route a 1-replica fleet to 0.
+func TestClusterSingleReplicaByteIdentical(t *testing.T) {
+	f := getFixture(t)
+	direct := serve.New(f.meas.Clone(), f.det, serve.Config{Workers: 1})
+	dts := httptest.NewServer(direct.Handler())
+	defer func() {
+		direct.Shutdown(context.Background())
+		dts.Close()
+	}()
+
+	for _, policy := range Policies {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			_, cts := newCluster(t, f, Config{Replicas: 1, Policy: policy})
+			for i := 0; i < 4; i++ {
+				req := serve.NewRequest(f.inputs[i], uint64(100+i))
+				dresp, dbody := post(t, dts.URL, req)
+				cresp, cbody := post(t, cts.URL, req)
+				if dresp.StatusCode != http.StatusOK || cresp.StatusCode != http.StatusOK {
+					t.Fatalf("query %d: direct %d, cluster %d", i, dresp.StatusCode, cresp.StatusCode)
+				}
+				if !bytes.Equal(dbody, cbody) {
+					t.Fatalf("query %d: cluster body diverges from direct server:\n direct: %s\ncluster: %s", i, dbody, cbody)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterMetricsMerged: the cluster /metrics page carries every
+// replica's serve series under its replica label, the cluster's own routing
+// series, and still passes the strict exposition linter (one family block
+// per name, no duplicate series).
+func TestClusterMetricsMerged(t *testing.T) {
+	f := getFixture(t)
+	_, ts := newCluster(t, f, Config{Replicas: 2, Policy: PolicyRoundRobin})
+	for i := 0; i < 4; i++ {
+		resp, body := post(t, ts.URL, serve.NewRequest(f.inputs[i], uint64(i)))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Lint(page); err != nil {
+		t.Fatalf("cluster /metrics fails lint: %v", err)
+	}
+	for _, want := range []string{
+		`advhunter_requests_total{code="200",replica="0"}`,
+		`advhunter_requests_total{code="200",replica="1"}`,
+		`advhunter_queue_depth{replica="0"}`,
+		`advhunter_queue_depth{replica="1"}`,
+		`advhunter_cluster_replicas 2`,
+		`advhunter_cluster_routed_total{policy="roundrobin",replica="0"} 2`,
+		`advhunter_cluster_routed_total{policy="roundrobin",replica="1"} 2`,
+	} {
+		if !strings.Contains(string(page), want) {
+			t.Errorf("missing %q in cluster /metrics", want)
+		}
+	}
+}
+
+// TestAffinityCacheLocality is the tentpole's locality claim: with repeats
+// of the same queries, fingerprint-affinity routing keeps the fleet-wide
+// truth-cache hit rate at the single-replica level, while round-robin
+// scatters each query's repeats across replicas and pays the simulated
+// inference once per replica. The request stream uses an odd number of
+// distinct inputs so strict alternation cannot accidentally align repeats
+// with one replica.
+func TestAffinityCacheLocality(t *testing.T) {
+	f := getFixture(t)
+	const distinct, rounds = 7, 4
+
+	drive := func(url string) {
+		idx := uint64(0)
+		for r := 0; r < rounds; r++ {
+			for i := 0; i < distinct; i++ {
+				resp, body := post(t, url, serve.NewRequest(f.inputs[i], idx))
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("round %d input %d: status %d: %s", r, i, resp.StatusCode, body)
+				}
+				idx++
+			}
+		}
+	}
+
+	_, single := newCluster(t, f, Config{Replicas: 1, Policy: PolicyRoundRobin})
+	drive(single.URL)
+	singleRate := scrapeHitRate(t, single.URL)
+
+	_, rr := newCluster(t, f, Config{Replicas: 2, Policy: PolicyRoundRobin})
+	drive(rr.URL)
+	rrRate := scrapeHitRate(t, rr.URL)
+
+	_, aff := newCluster(t, f, Config{Replicas: 2, Policy: PolicyAffinity})
+	drive(aff.URL)
+	affRate := scrapeHitRate(t, aff.URL)
+
+	t.Logf("truth-cache hit rate: single=%.3f roundrobin=%.3f affinity=%.3f", singleRate, rrRate, affRate)
+	if affRate < singleRate-0.05 {
+		t.Fatalf("affinity hit rate %.3f falls more than 5 points below single-replica %.3f", affRate, singleRate)
+	}
+	if affRate <= rrRate {
+		t.Fatalf("affinity hit rate %.3f does not beat round-robin %.3f", affRate, rrRate)
+	}
+}
+
+// TestClusterShutdownDrains: after Shutdown the cluster answers 503 and
+// /readyz reports draining, and a second Shutdown is safe.
+func TestClusterShutdownDrains(t *testing.T) {
+	f := getFixture(t)
+	c, ts := newCluster(t, f, Config{Replicas: 2})
+	resp, body := post(t, ts.URL, serve.NewRequest(f.inputs[0], 1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-drain query: status %d: %s", resp.StatusCode, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	resp, _ = post(t, ts.URL, serve.NewRequest(f.inputs[0], 2))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain query: status %d, want 503", resp.StatusCode)
+	}
+	r, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after drain: status %d, want 503", r.StatusCode)
+	}
+	if err := c.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+// TestRouterPolicies: the stateless policy mechanics, without HTTP.
+func TestRouterPolicies(t *testing.T) {
+	replicas := make([]*serve.Server, 3)
+
+	rr, err := newRouter(PolicyRoundRobin, replicas, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]int)
+	for i := 0; i < 9; i++ {
+		seen[rr.Route(0, false)]++
+	}
+	for rep := 0; rep < 3; rep++ {
+		if seen[rep] != 3 {
+			t.Fatalf("round-robin replica %d got %d of 9 requests, want 3", rep, seen[rep])
+		}
+	}
+
+	aff, err := newRouter(PolicyAffinity, replicas, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fp := uint64(0); fp < 100; fp++ {
+		a, b := aff.Route(fp, true), aff.Route(fp, true)
+		if a != b {
+			t.Fatalf("affinity routed fp %d to %d then %d", fp, a, b)
+		}
+	}
+
+	if _, err := newRouter("bogus", replicas, 0); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

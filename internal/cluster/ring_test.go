@@ -1,0 +1,60 @@
+package cluster
+
+import "testing"
+
+// TestRingRebalance pins the minimal-disruption property: growing the fleet
+// from 4 to 5 replicas moves only the keys the new replica takes over
+// (≈1/5 of them), and every moved key moves TO the new replica — shrinking
+// back is the mirror image, so removal moves only the removed replica's
+// keys. This is what lets a resized cluster keep most of its fleet-wide
+// truth-cache contents warm.
+func TestRingRebalance(t *testing.T) {
+	const keys = 20000
+	r4 := NewRing(4, 0)
+	r5 := NewRing(5, 0)
+
+	moved := 0
+	for k := uint64(0); k < keys; k++ {
+		a, b := r4.Lookup(k), r5.Lookup(k)
+		if a == b {
+			continue
+		}
+		moved++
+		if b != 4 {
+			t.Fatalf("key %d moved %d→%d on grow; keys may only move to the new replica 4", k, a, b)
+		}
+	}
+	frac := float64(moved) / keys
+	if frac < 0.10 || frac > 0.35 {
+		t.Fatalf("grow 4→5 moved %.3f of keys, want ≈0.20 (minimal disruption)", frac)
+	}
+}
+
+// TestRingBalance: vnode placement spreads keys across replicas without a
+// pathological hot shard.
+func TestRingBalance(t *testing.T) {
+	const keys = 20000
+	r := NewRing(4, 0)
+	counts := make([]int, 4)
+	for k := uint64(0); k < keys; k++ {
+		counts[r.Lookup(k)]++
+	}
+	for rep, c := range counts {
+		share := float64(c) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("replica %d owns %.3f of keys, want ≈0.25 ± vnode noise", rep, share)
+		}
+	}
+}
+
+// TestRingLookupStable: lookups are deterministic per key — the property
+// affinity routing (and therefore truth-cache locality) rests on.
+func TestRingLookupStable(t *testing.T) {
+	r := NewRing(3, 16)
+	r2 := NewRing(3, 16)
+	for k := uint64(0); k < 1000; k++ {
+		if r.Lookup(k) != r2.Lookup(k) {
+			t.Fatalf("key %d maps differently on two identical rings", k)
+		}
+	}
+}

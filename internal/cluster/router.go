@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"advhunter/internal/serve"
+)
+
+// The routing policies of Config.Policy.
+const (
+	// PolicyRoundRobin cycles through replicas in admission order — the
+	// baseline: even request counts, oblivious to load and cache locality.
+	PolicyRoundRobin = "roundrobin"
+	// PolicyLeastLoaded picks the replica with the smallest instantaneous
+	// occupancy (queued + in-flight), evening out service-time variance.
+	PolicyLeastLoaded = "leastloaded"
+	// PolicyAffinity routes by query fingerprint over a consistent-hash
+	// ring, so repeats of one query always land on the same replica and its
+	// truth cache keeps single-replica hit rates.
+	PolicyAffinity = "affinity"
+)
+
+// Policies lists the recognised policy names, in documentation order.
+var Policies = []string{PolicyRoundRobin, PolicyLeastLoaded, PolicyAffinity}
+
+// Router picks the replica for one admitted request. fp is the query's
+// fingerprint; fpOK reports whether the body decoded into one (a malformed
+// or non-POST request has none, and every policy must still answer — the
+// chosen replica renders the error response).
+type Router interface {
+	Route(fp uint64, fpOK bool) int
+	Policy() string
+}
+
+// newRouter wires the named policy over the replica set.
+func newRouter(policy string, replicas []*serve.Server, vnodes int) (Router, error) {
+	switch policy {
+	case PolicyRoundRobin:
+		return &roundRobin{n: len(replicas)}, nil
+	case PolicyLeastLoaded:
+		return &leastLoaded{replicas: replicas}, nil
+	case PolicyAffinity:
+		return &affinity{ring: NewRing(len(replicas), vnodes), fallback: roundRobin{n: len(replicas)}}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown routing policy %q (have %v)", policy, Policies)
+	}
+}
+
+// roundRobin cycles replica indices with one atomic counter.
+type roundRobin struct {
+	n    int
+	next atomic.Uint64
+}
+
+func (r *roundRobin) Route(uint64, bool) int { return int((r.next.Add(1) - 1) % uint64(r.n)) }
+func (r *roundRobin) Policy() string         { return PolicyRoundRobin }
+
+// leastLoaded scans the fleet's occupancy gauges on every route. The scan is
+// racy by construction — loads move while it reads — but a stale choice only
+// costs evenness, never correctness, and the fleet sizes this tier targets
+// (single digits of replicas) make the scan cheaper than any bookkeeping.
+type leastLoaded struct {
+	replicas []*serve.Server
+}
+
+func (r *leastLoaded) Route(uint64, bool) int {
+	best, bestLoad := 0, int(^uint(0)>>1)
+	for i, s := range r.replicas {
+		if l := s.Load(); l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}
+func (r *leastLoaded) Policy() string { return PolicyLeastLoaded }
+
+// affinity routes decodable queries by fingerprint over the ring and falls
+// back to round-robin for requests without one (the replica then renders the
+// same error response a single server would).
+type affinity struct {
+	ring     *Ring
+	fallback roundRobin
+}
+
+func (r *affinity) Route(fp uint64, fpOK bool) int {
+	if !fpOK {
+		return r.fallback.Route(fp, fpOK)
+	}
+	return r.ring.Lookup(fp)
+}
+func (r *affinity) Policy() string { return PolicyAffinity }

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"advhunter/internal/workload"
+)
+
+// SweepPoint is one offered-rate measurement in a saturation sweep.
+type SweepPoint struct {
+	// Rate is the offered open-loop arrival rate, in requests/second.
+	Rate float64 `json:"rate"`
+	// GoodputQPS is completed (200) responses per wall second.
+	GoodputQPS float64 `json:"goodput_qps"`
+	// P50Ms/P99Ms are client-observed latency quantiles over the 200s.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// Rate429/TimeoutRate/ErrorRate are the loss fractions of the point.
+	Rate429     float64 `json:"rate_429"`
+	TimeoutRate float64 `json:"timeout_rate"`
+	ErrorRate   float64 `json:"error_rate"`
+}
+
+// SaturationResult is one configuration's sweep: the per-rate points and the
+// located knee. Policy/Replicas/Tier identify the configuration; the caller
+// fills them (the analyzer only sees a URL).
+type SaturationResult struct {
+	Policy       string       `json:"policy,omitempty"`
+	Replicas     int          `json:"replicas,omitempty"`
+	Tier         string       `json:"tier,omitempty"`
+	GoodputFloor float64      `json:"goodput_floor"`
+	Points       []SweepPoint `json:"points"`
+	// KneeRate is the highest offered rate the service still absorbs
+	// (completion fraction ≥ GoodputFloor); KneeQPS is the goodput and
+	// P99AtKneeMs the client p99 latency at that point.
+	KneeRate    float64 `json:"knee_rate"`
+	KneeQPS     float64 `json:"knee_qps"`
+	P99AtKneeMs float64 `json:"p99_at_knee_ms"`
+}
+
+// SaturationAnalyzer sweeps open-loop arrival rates against a live serving
+// endpoint to locate the knee of its latency/throughput curve: the highest
+// offered rate whose goodput still tracks the offer. Past the knee the
+// admission gates shed load (429s) or queueing blows the latency budget —
+// either way goodput decouples from offered rate, which is the capacity
+// signal a fleet planner needs per tier × replica-count.
+type SaturationAnalyzer struct {
+	// Base is the serving endpoint, e.g. "http://127.0.0.1:8080".
+	Base string
+	// MakeTrace builds the workload trace for one offered rate. The factory
+	// owns cohort composition and the horizon; the analyzer owns nothing but
+	// the sweep. Traces must be open-loop (offered load is the independent
+	// variable; a closed loop self-limits and has no knee to find).
+	MakeTrace func(rate float64) (*workload.Trace, error)
+	// Run tunes trace replay (client caps, timeouts, sampling).
+	Run workload.RunOptions
+	// GoodputFloor is the knee criterion (default 0.9): a point is "still
+	// absorbed" while at least this fraction of its requests complete —
+	// that is, are not shed as 429s, client timeouts, or transport errors.
+	GoodputFloor float64
+}
+
+// Sweep replays one trace per offered rate, in ascending order, and locates
+// the knee. Rates should be sorted ascending; the knee search assumes it.
+func (a *SaturationAnalyzer) Sweep(ctx context.Context, rates []float64) (*SaturationResult, error) {
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("cluster: saturation sweep needs at least one rate")
+	}
+	floor := a.GoodputFloor
+	if floor == 0 {
+		floor = 0.9
+	}
+	res := &SaturationResult{GoodputFloor: floor, Points: make([]SweepPoint, 0, len(rates))}
+	for _, rate := range rates {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		tr, err := a.MakeTrace(rate)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: trace at rate %g: %w", rate, err)
+		}
+		rr, err := workload.Run(ctx, a.Base, tr, a.Run)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: sweep at rate %g: %w", rate, err)
+		}
+		rep := rr.Report
+		res.Points = append(res.Points, SweepPoint{
+			Rate:        rate,
+			GoodputQPS:  rep.ThroughputRPS,
+			P50Ms:       rep.Latency.P50Ms,
+			P99Ms:       rep.Latency.P99Ms,
+			Rate429:     rep.Rate429,
+			TimeoutRate: rep.TimeoutRate,
+			ErrorRate:   rep.ErrorRate,
+		})
+	}
+	knee := findKnee(res.Points, floor)
+	res.KneeRate = res.Points[knee].Rate
+	res.KneeQPS = res.Points[knee].GoodputQPS
+	res.P99AtKneeMs = res.Points[knee].P99Ms
+	return res, nil
+}
+
+// findKnee returns the index of the knee point: the last point (rates
+// ascending) whose completion fraction — the share of requests not lost to
+// 429s, timeouts, or errors — is at least floor. Completion, not
+// wall-normalised goodput, is the criterion: run wall time includes client
+// ramp and drain, which biases goodput/offered comparisons at every rate,
+// while each real failure mode past the knee (shed load, queueing past the
+// client budget, refused connections) shows up as lost requests. When even
+// the lowest rate sheds load, the point with the highest goodput stands in —
+// the service is saturated everywhere and its ceiling is the honest answer.
+func findKnee(points []SweepPoint, floor float64) int {
+	knee := -1
+	for i, p := range points {
+		if 1-(p.Rate429+p.TimeoutRate+p.ErrorRate) >= floor {
+			knee = i
+		}
+	}
+	if knee >= 0 {
+		return knee
+	}
+	best := 0
+	for i, p := range points {
+		if p.GoodputQPS > points[best].GoodputQPS {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,35 @@
+package cluster
+
+import "testing"
+
+// TestFindKnee pins the knee criterion on synthetic sweep shapes.
+func TestFindKnee(t *testing.T) {
+	// Losses stay under the floor through 40 req/s, then the gates shed
+	// load: the knee is the 40 point, not the higher-offered saturated ones.
+	tracking := []SweepPoint{
+		{Rate: 10, GoodputQPS: 10},
+		{Rate: 20, GoodputQPS: 19.5, Rate429: 0.02},
+		{Rate: 40, GoodputQPS: 38, Rate429: 0.05},
+		{Rate: 80, GoodputQPS: 45, Rate429: 0.35, TimeoutRate: 0.05},
+		{Rate: 160, GoodputQPS: 44, Rate429: 0.62},
+	}
+	if got := findKnee(tracking, 0.9); got != 2 {
+		t.Fatalf("knee index = %d, want 2 (rate 40)", got)
+	}
+
+	// Saturated everywhere — every point sheds more than the floor allows:
+	// fall back to the max-goodput point, the service's honest ceiling.
+	saturated := []SweepPoint{
+		{Rate: 50, GoodputQPS: 20, Rate429: 0.5},
+		{Rate: 100, GoodputQPS: 26, Rate429: 0.7},
+		{Rate: 200, GoodputQPS: 23, Rate429: 0.8},
+	}
+	if got := findKnee(saturated, 0.9); got != 1 {
+		t.Fatalf("saturated knee index = %d, want 1 (max goodput)", got)
+	}
+
+	// A single absorbing point is its own knee.
+	if got := findKnee([]SweepPoint{{Rate: 5, GoodputQPS: 5}}, 0.9); got != 0 {
+		t.Fatalf("single-point knee index = %d, want 0", got)
+	}
+}

@@ -31,6 +31,12 @@ import (
 type Registry struct {
 	mu       sync.RWMutex
 	families map[string]*family
+
+	// constNames/constValues are appended to every rendered series — the
+	// registry-scope identity labels (a cluster replica's "replica" label).
+	// Render-time only: metric handles and hot-path recording never see them.
+	constNames  []string
+	constValues []string
 }
 
 // Default is the process-wide registry for series that are not owned by one
@@ -41,6 +47,30 @@ var Default = NewRegistry()
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*family)}
+}
+
+// SetConstLabels attaches name/value pairs rendered on every series of the
+// registry — the identity of a registry scope when several instances of the
+// same component are scraped through one page (each cluster replica's serve
+// registry carries replica="<i>"). It must be called before the first scrape
+// and panics on malformed names or a dangling value, like registration does.
+// Recording handles are unaffected: the pairs exist only in the exposition.
+func (r *Registry) SetConstLabels(pairs ...string) {
+	if len(pairs)%2 != 0 {
+		panic("obs: SetConstLabels needs name/value pairs")
+	}
+	names := make([]string, 0, len(pairs)/2)
+	values := make([]string, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		if err := checkLabelName(pairs[i]); err != nil {
+			panic(fmt.Sprintf("obs: %v", err))
+		}
+		names = append(names, pairs[i])
+		values = append(values, pairs[i+1])
+	}
+	r.mu.Lock()
+	r.constNames, r.constValues = names, values
+	r.mu.Unlock()
 }
 
 // metric family kinds, in exposition-format spelling.
@@ -179,6 +209,17 @@ func Handler(regs ...*Registry) http.Handler {
 			seen[r] = true
 			r.WriteTo(w)
 		}
+	})
+}
+
+// MergedHandler returns an http.Handler rendering WriteMerged over the
+// registries — the cluster-tier /metrics surface, where each replica's
+// registry repeats the serve families under its own replica label and the
+// exposition still needs one family block per name.
+func MergedHandler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		WriteMerged(w, regs...)
 	})
 }
 

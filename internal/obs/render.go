@@ -18,20 +18,10 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	cw := &countingWriter{w: bw}
 
-	r.mu.RLock()
-	names := make([]string, 0, len(r.families))
-	for name := range r.families {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	fams := make([]*family, len(names))
-	for i, name := range names {
-		fams[i] = r.families[name]
-	}
-	r.mu.RUnlock()
-
+	fams, cn, cv := r.snapshotFamilies()
 	for _, f := range fams {
-		f.write(cw)
+		f.writeMeta(cw)
+		f.write(cw, cn, cv)
 		if cw.err != nil {
 			return cw.n, cw.err
 		}
@@ -42,8 +32,89 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, nil
 }
 
-// write renders one family.
-func (f *family) write(w io.Writer) {
+// snapshotFamilies returns the registry's families sorted by name plus its
+// const-label pairs, under one read lock.
+func (r *Registry) snapshotFamilies() ([]*family, []string, []string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	return fams, r.constNames, r.constValues
+}
+
+// WriteMerged renders several registries as one exposition page, merging
+// families that share a name into a single HELP/TYPE block — the shape a
+// multi-replica scrape needs, where every replica's registry exports the same
+// families and only the registries' const labels (SetConstLabels) tell their
+// series apart. Families merged under one name must agree on kind, help,
+// label set and bucket layout; a mismatch panics, exactly like re-registering
+// a name differently on one registry does. A nil or repeated registry is
+// skipped.
+func WriteMerged(w io.Writer, regs ...*Registry) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw}
+
+	type part struct {
+		f      *family
+		cn, cv []string
+	}
+	byName := make(map[string][]part)
+	var order []string
+	seen := make(map[*Registry]bool, len(regs))
+	for _, r := range regs {
+		if r == nil || seen[r] {
+			continue
+		}
+		seen[r] = true
+		fams, cn, cv := r.snapshotFamilies()
+		for _, f := range fams {
+			if len(byName[f.name]) == 0 {
+				order = append(order, f.name)
+			}
+			byName[f.name] = append(byName[f.name], part{f: f, cn: cn, cv: cv})
+		}
+	}
+	sort.Strings(order)
+
+	for _, name := range order {
+		parts := byName[name]
+		first := parts[0].f
+		for _, p := range parts[1:] {
+			if p.f.kind != first.kind || p.f.help != first.help ||
+				!equalStrings(p.f.labels, first.labels) || !equalFloats(p.f.buckets, first.buckets) {
+				panic(fmt.Sprintf("obs: metric %s merged across registries with different definitions", name))
+			}
+		}
+		first.writeMeta(cw)
+		for _, p := range parts {
+			p.f.write(cw, p.cn, p.cv)
+			if cw.err != nil {
+				return cw.n, cw.err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// writeMeta renders one family's HELP and TYPE lines.
+func (f *family) writeMeta(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+}
+
+// write renders one family's series, appending the owning registry's
+// const-label pairs (cn/cv) to every label block.
+func (f *family) write(w io.Writer, cn, cv []string) {
 	f.mu.RLock()
 	sampled := f.sampled
 	kids := make([]*child, 0, len(f.children))
@@ -55,24 +126,33 @@ func (f *family) write(w io.Writer) {
 		return strings.Join(kids[i].labelValues, "\xff") < strings.Join(kids[j].labelValues, "\xff")
 	})
 
-	fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
-	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+	names := f.labels
+	if len(cn) > 0 {
+		names = append(append(make([]string, 0, len(f.labels)+len(cn)), f.labels...), cn...)
+	}
+	values := func(c *child) []string {
+		if len(cv) == 0 {
+			return c.labelValues
+		}
+		return append(append(make([]string, 0, len(c.labelValues)+len(cv)), c.labelValues...), cv...)
+	}
 	if sampled != nil {
-		fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(sampled()))
+		fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(cn, cv, "", ""), formatFloat(sampled()))
 		return
 	}
 	for _, c := range kids {
+		lv := values(c)
 		switch f.kind {
 		case kindCounter:
-			fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, c.labelValues, "", ""), c.count.v.Load())
+			fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(names, lv, "", ""), c.count.v.Load())
 		case kindGauge:
-			fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labels, c.labelValues, "", ""), formatFloat(c.gauge.load()))
+			fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(names, lv, "", ""), formatFloat(c.gauge.load()))
 		case kindHistogram:
 			cum := uint64(0)
 			for i, ub := range f.buckets {
 				cum += c.bins[i].v.Load()
 				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
-					labelString(f.labels, c.labelValues, "le", formatFloat(ub)), cum)
+					labelString(names, lv, "le", formatFloat(ub)), cum)
 			}
 			// The +Inf bucket equals the total count by definition; using the
 			// count cell (not cum) keeps the line consistent with _count even
@@ -82,11 +162,11 @@ func (f *family) write(w io.Writer) {
 				count = cum
 			}
 			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
-				labelString(f.labels, c.labelValues, "le", "+Inf"), count)
+				labelString(names, lv, "le", "+Inf"), count)
 			fmt.Fprintf(w, "%s_sum%s %s\n", f.name,
-				labelString(f.labels, c.labelValues, "", ""), formatFloat(c.sum.load()))
+				labelString(names, lv, "", ""), formatFloat(c.sum.load()))
 			fmt.Fprintf(w, "%s_count%s %d\n", f.name,
-				labelString(f.labels, c.labelValues, "", ""), count)
+				labelString(names, lv, "", ""), count)
 		}
 	}
 }

@@ -187,26 +187,22 @@ func (m *metrics) registerTier(table *twin.Table, twinTruth *core.TruthCache) {
 	}
 }
 
-// registerQueueGauges publishes the admission-queue gauges, sampled at
-// scrape time from the live channel.
-func (m *metrics) registerQueueGauges(queue chan *job) {
+// registerAdmission publishes the admission-stage gauges, sampled at scrape
+// time from the live gate: the queue depth/capacity always, and the
+// connection-level in-flight series only when a cap is configured
+// (Config.MaxInflight > 0) — an unlimited server exports none at all.
+func (m *metrics) registerAdmission(adm *Admission[*job]) {
 	m.reg.GaugeFunc("advhunter_queue_depth",
-		"Requests waiting in the admission queue.", func() float64 { return float64(len(queue)) })
+		"Requests waiting in the admission queue.", func() float64 { return float64(adm.QueueDepth()) })
 	m.reg.GaugeFunc("advhunter_queue_capacity",
-		"Admission queue capacity.", func() float64 { return float64(cap(queue)) })
-}
-
-// registerInflight publishes the connection-level admission gauges. Only
-// called with a non-nil token channel (Config.MaxInflight > 0), so an
-// unlimited server exports no in-flight series at all.
-func (m *metrics) registerInflight(tokens chan struct{}) {
-	if tokens == nil {
+		"Admission queue capacity.", func() float64 { return float64(adm.QueueCapacity()) })
+	if adm.InflightCapacity() == 0 {
 		return
 	}
 	m.reg.GaugeFunc("advhunter_inflight_requests",
 		"Requests concurrently admitted into the handler (decode through response write).",
-		func() float64 { return float64(len(tokens)) })
+		func() float64 { return float64(adm.InflightDepth()) })
 	m.reg.GaugeFunc("advhunter_inflight_capacity",
 		"Config.MaxInflight: the in-flight request cap.",
-		func() float64 { return float64(cap(tokens)) })
+		func() float64 { return float64(adm.InflightCapacity()) })
 }

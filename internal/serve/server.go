@@ -2,15 +2,19 @@
 // JSON service that scores every inference query from its simulated HPC
 // reading, the MLaaS-guard shape the paper motivates (Section 1).
 //
-// Architecture: requests are admitted into a bounded queue (backpressure:
-// a full queue answers 429 with Retry-After), a dispatcher gathers them
-// into micro-batches (up to MaxBatch, lingering at most BatchWait), and
-// each batch fans out over a pool of engine replicas (core.Measurer.Clone,
-// scheduled by internal/parallel). Determinism survives the concurrency:
-// each query's measurement-noise stream is keyed by an explicit request
-// index through Measurer.MeasureAt, so its reading — and therefore its
-// detection decision — is a pure function of (model, input, seed, index),
-// independent of batching, scheduling, and worker assignment.
+// Architecture: a server is an assembly of three composable stages.
+// An Admission gate (bounded queue + optional in-flight token cap) turns
+// overload into backpressure — a full queue answers 429 with Retry-After —
+// and owns the drain protocol. A micro-batcher gathers admitted requests
+// (up to MaxBatch, lingering at most BatchWait) and fans each batch out over
+// a Tiering policy, which decides every query on one or two MeasurePools
+// (backend replica pool + truth cache + detector). Determinism survives the
+// concurrency: each query's measurement-noise stream is keyed by an explicit
+// request index through Measurer.MeasureAt, so its reading — and therefore
+// its detection decision — is a pure function of (model, input, seed, index),
+// independent of batching, scheduling, and worker assignment. The same
+// stages compose into other topologies: internal/cluster runs N of these
+// assemblies behind a router.
 package serve
 
 import (
@@ -21,7 +25,6 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -172,30 +175,21 @@ type result struct {
 	tier string
 }
 
-// Server is the online detection service. Build with New, expose with
-// Handler, stop with Shutdown.
+// Server is the online detection service: an Admission gate feeding a
+// micro-batcher that fans out over a Tiering policy. Build with New, expose
+// with Handler, stop with Shutdown.
 type Server struct {
 	cfg      Config
 	det      detect.Detector
 	channels []string
-	workers  []*core.Measurer
 	shape    [3]int
 	decIdx   int // index of DecisionEvent in det.Channels(), -1 if absent
 
-	// Tiered serving (nil / empty under plain exact serving).
-	twinDet     detect.Detector  // scores twin-tier measurements; == det unless TwinDetector set
-	twinWorkers []*twin.Measurer // twin replica pool, aligned with workers
-	twinTruth   *core.TruthCache // twin-tier truth memoisation; never shared with truth
-
-	queue    chan *job
-	inflight chan struct{}    // admission tokens; nil when MaxInflight is 0
-	truth    *core.TruthCache // nil when memoisation is disabled or Tier is twin-only
-	next     atomic.Uint64    // server-assigned indices for index-less requests
-	rids     atomic.Uint64    // request ids for log correlation (distinct from idx)
-
-	draining  atomic.Bool
-	enqueuers sync.WaitGroup // handlers between admission check and enqueue
-	done      chan struct{}  // closed when the dispatcher exits
+	adm     *Admission[*job] // gate stage: queue + inflight cap + drain protocol
+	tiering Tiering          // decision stage: exact / twin / auto over MeasurePools
+	next    atomic.Uint64    // server-assigned indices for index-less requests
+	rids    atomic.Uint64    // request ids for log correlation (distinct from idx)
+	done    chan struct{}    // closed when the dispatcher exits
 
 	stats     *metrics
 	logger    *slog.Logger
@@ -231,17 +225,66 @@ func New(m *core.Measurer, det detect.Detector, cfg Config) *Server {
 		cfg:      cfg,
 		det:      det,
 		channels: channels,
-		workers:  make([]*core.Measurer, cfg.Workers),
 		shape:    [3]int{meta.InC, meta.InH, meta.InW},
 		decIdx:   decIdx,
-		queue:    make(chan *job, cfg.QueueSize),
+		adm:      NewAdmission[*job](cfg.QueueSize, cfg.MaxInflight),
 		done:     make(chan struct{}),
 		stats:    newMetrics(det.Kind(), channels),
 		logger:   cfg.Logger,
 		gate:     cfg.gate,
 	}
-	if cfg.Tier != TierExact {
-		s.twinDet = det
+	if s.logger == nil {
+		s.logger = slog.Default()
+	}
+	s.tracer = obs.NewTracer(s.stats.reg, s.logger)
+	s.stats.registerAdmission(s.adm)
+
+	// Truth caches, one per tier that can serve: twin and exact truths for
+	// the same input differ, so they are never shared, and the twin-only tier
+	// never simulates and therefore carries no exact cache at all.
+	var truth, twinTruth *core.TruthCache
+	if cfg.TruthCacheSize > 0 {
+		if cfg.Tier != TierTwin {
+			truth = core.NewTruthCache(cfg.TruthCacheSize)
+			s.stats.registerTruthCache(truth)
+		}
+		if cfg.Tier != TierExact {
+			twinTruth = core.NewTruthCache(cfg.TruthCacheSize)
+		}
+	}
+
+	s.stats.reg.Gauge("advhunter_pool_workers", "Engine replica pool size.").With().Set(float64(cfg.Workers))
+	s.poolHooks = parallel.Hooks{
+		Queued: func(delta int) { s.stats.poolQueue.Add(float64(delta)) },
+		Start:  func(int) { s.stats.poolBusy.Inc() },
+		Done: func(_ int, d time.Duration) {
+			s.stats.poolBusy.Dec()
+			s.stats.poolTasks.Inc()
+			s.stats.poolSeconds.Observe(d.Seconds())
+		},
+	}
+
+	// Exact measurement stage. The engine-layer hook is observe-only and
+	// shared by every replica, so install it before cloning (Clone copies it).
+	m.Observe = s.stats.observeMeasurement
+	exactWorkers := make([]Measurer, cfg.Workers)
+	exactWorkers[0] = m
+	for w := 1; w < cfg.Workers; w++ {
+		exactWorkers[w] = m.Clone()
+	}
+	exactPool := &MeasurePool{
+		Workers: exactWorkers, Truth: truth, Det: det,
+		SpanMeasure: "measure", SpanScore: "score",
+		Hits: s.stats.truthHits, Misses: s.stats.truthMisses,
+	}
+
+	// Tiering stage: the twin and auto tiers add a twin measurement stage in
+	// front (or instead) of the exact one.
+	switch cfg.Tier {
+	case TierExact:
+		s.tiering = exactTiering{pool: exactPool}
+	default:
+		twinDet := det
 		if cfg.TwinDetector != nil {
 			// The service decision rule (decIdx) and the response channel maps
 			// are shared across tiers, so the twin detector must score the
@@ -255,55 +298,34 @@ func New(m *core.Measurer, det detect.Detector, cfg Config) *Server {
 					panic(fmt.Sprintf("serve: twin detector channel %d is %q, main detector has %q", i, ch, channels[i]))
 				}
 			}
-			s.twinDet = cfg.TwinDetector
+			twinDet = cfg.TwinDetector
 		}
-		s.twinWorkers = make([]*twin.Measurer, cfg.Workers)
-		s.twinWorkers[0] = cfg.Twin
+		s.stats.registerTier(cfg.Twin.Table, twinTruth)
+		twinWorkers := make([]Measurer, cfg.Workers)
+		twinWorkers[0] = cfg.Twin
 		for w := 1; w < cfg.Workers; w++ {
-			s.twinWorkers[w] = cfg.Twin.Clone()
+			twinWorkers[w] = cfg.Twin.Clone()
+		}
+		twinPool := &MeasurePool{
+			Workers: twinWorkers, Truth: twinTruth, Det: twinDet,
+			SpanMeasure: "twin-measure", SpanScore: "twin-score",
+			Hits: s.stats.twinTruthHits, Misses: s.stats.twinTruthMisses,
+			Seconds: s.stats.tierSecondsTwin,
+		}
+		if cfg.Tier == TierTwin {
+			s.tiering = twinTiering{pool: twinPool, decided: s.stats.tierTwin}
+		} else {
+			exactPool.Seconds = s.stats.tierSecondsExact
+			s.tiering = autoTiering{
+				twin: twinPool, exact: exactPool,
+				twinDet: twinDet, decIdx: decIdx, margin: cfg.EscalationMargin,
+				screened: s.stats.tierScreened, escalations: s.stats.tierEscalations,
+				twinDecided: s.stats.tierTwin, exactDecided: s.stats.tierExact,
+				agreement: s.stats.tierAgreement,
+			}
 		}
 	}
-	if cfg.MaxInflight > 0 {
-		s.inflight = make(chan struct{}, cfg.MaxInflight)
-	}
-	if s.logger == nil {
-		s.logger = slog.Default()
-	}
-	s.tracer = obs.NewTracer(s.stats.reg, s.logger)
-	s.stats.registerQueueGauges(s.queue)
-	s.stats.registerInflight(s.inflight)
-	if cfg.TruthCacheSize > 0 {
-		// Twin and exact truths for the same input differ, so each tier that
-		// can serve gets its own cache; the twin-only tier never simulates and
-		// therefore carries no exact cache at all.
-		if cfg.Tier != TierTwin {
-			s.truth = core.NewTruthCache(cfg.TruthCacheSize)
-			s.stats.registerTruthCache(s.truth)
-		}
-		if cfg.Tier != TierExact {
-			s.twinTruth = core.NewTruthCache(cfg.TruthCacheSize)
-		}
-	}
-	if cfg.Tier != TierExact {
-		s.stats.registerTier(cfg.Twin.Table, s.twinTruth)
-	}
-	s.stats.reg.Gauge("advhunter_pool_workers", "Engine replica pool size.").With().Set(float64(cfg.Workers))
-	s.poolHooks = parallel.Hooks{
-		Queued: func(delta int) { s.stats.poolQueue.Add(float64(delta)) },
-		Start:  func(int) { s.stats.poolBusy.Inc() },
-		Done: func(_ int, d time.Duration) {
-			s.stats.poolBusy.Dec()
-			s.stats.poolTasks.Inc()
-			s.stats.poolSeconds.Observe(d.Seconds())
-		},
-	}
-	// The engine-layer hook is observe-only and shared by every replica, so
-	// install it before cloning (Clone copies it).
-	m.Observe = s.stats.observeMeasurement
-	s.workers[0] = m
-	for w := 1; w < cfg.Workers; w++ {
-		s.workers[w] = m.Clone()
-	}
+
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/detect", s.handleDetect)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -319,21 +341,29 @@ func New(m *core.Measurer, det detect.Detector, cfg Config) *Server {
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Registry returns the server's private metrics registry — the hook a
+// multi-replica assembly uses to stamp each replica's series with its
+// identity (obs.SetConstLabels) and merge them onto one exposition page.
+func (s *Server) Registry() *obs.Registry { return s.stats.reg }
+
+// Shape returns the served model's input shape (C, H, W) — what a router in
+// front of the server needs to decode and fingerprint request bodies.
+func (s *Server) Shape() [3]int { return s.shape }
+
+// Load reports the server's instantaneous occupancy: requests waiting in the
+// admission queue plus requests holding an in-flight token. Routers use it
+// for least-loaded replica selection.
+func (s *Server) Load() int {
+	return s.adm.QueueDepth() + s.adm.InflightDepth()
+}
+
 // Shutdown drains the service: new detection requests are rejected with
 // 503, queued requests are processed to completion, and the dispatcher
 // exits. It returns early with the context's error if draining outlives it.
 func (s *Server) Shutdown(ctx context.Context) error {
-	if !s.draining.CompareAndSwap(false, true) {
-		// Already draining; just wait for the dispatcher.
-		select {
-		case <-s.done:
-			return nil
-		case <-ctx.Done():
-			return ctx.Err()
-		}
-	}
-	s.enqueuers.Wait() // no handler is still about to enqueue
-	close(s.queue)
+	// Close is idempotent: the first caller runs the drain protocol, later
+	// callers (and re-entrant Shutdowns) just wait for the dispatcher.
+	s.adm.Close()
 	select {
 	case <-s.done:
 		return nil
@@ -344,11 +374,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // dispatch is the micro-batcher: it gathers up to MaxBatch queued jobs
 // (lingering at most BatchWait after the first) and hands each batch to the
-// replica pool. It exits when the queue is closed and drained.
+// replica pool. It exits when the admission gate's queue is closed and
+// drained.
 func (s *Server) dispatch() {
 	defer close(s.done)
 	for {
-		j, ok := <-s.queue
+		j, ok := <-s.adm.Queue()
 		if !ok {
 			return
 		}
@@ -357,7 +388,7 @@ func (s *Server) dispatch() {
 	gather:
 		for len(batch) < s.cfg.MaxBatch {
 			select {
-			case j2, ok := <-s.queue:
+			case j2, ok := <-s.adm.Queue():
 				if !ok {
 					break gather
 				}
@@ -390,106 +421,11 @@ func (s *Server) process(batch []*job) {
 		return
 	}
 	s.stats.batchSizes.Observe(float64(len(live)))
-	parallel.MapWorkersHooked(len(s.workers), live, s.poolHooks, func(worker, _ int, j *job) struct{} {
-		j.out <- s.measureJob(worker, j)
+	parallel.MapWorkersHooked(s.cfg.Workers, live, s.poolHooks, func(worker, _ int, j *job) struct{} {
+		v, tier := s.tiering.Decide(j.ctx, worker, j.idx, j.x)
+		j.out <- result{v: v, tier: tier}
 		return struct{}{}
 	})
-}
-
-// measureJob runs one job on one pool worker under the configured tier.
-// Every path is a pure function of (input, index): the twin verdict, the
-// uncertainty decision, and the exact verdict are each deterministic, so the
-// tier chosen — and the response — never depends on batching or scheduling.
-func (s *Server) measureJob(worker int, j *job) result {
-	switch s.cfg.Tier {
-	case TierTwin:
-		v := s.scoreTwin(worker, j)
-		s.stats.tierTwin.Inc()
-		return result{v: v, tier: TierTwin}
-	case TierAuto:
-		v := s.scoreTwin(worker, j)
-		s.stats.tierScreened.Inc()
-		if !s.uncertain(v) {
-			s.stats.tierTwin.Inc()
-			return result{v: v, tier: TierTwin}
-		}
-		s.stats.tierEscalations.Inc()
-		ev := s.scoreExact(worker, j)
-		s.stats.tierExact.Inc()
-		if s.adversarial(v) == s.adversarial(ev) {
-			s.stats.tierAgreement.Inc()
-		}
-		return result{v: ev, tier: TierExact}
-	default:
-		return result{v: s.scoreExact(worker, j)}
-	}
-}
-
-// scoreExact measures j on the exact simulator and scores it with the main
-// detector, recording the measure/score spans and the per-tier latency.
-func (s *Server) scoreExact(worker int, j *job) detect.Verdict {
-	start := time.Now()
-	ctx, sp := obs.StartSpan(j.ctx, "measure")
-	meas, hit := s.workers[worker].MeasureAtCached(s.truth, j.idx, j.x)
-	sp.End()
-	if s.truth != nil {
-		if hit {
-			s.stats.truthHits.Inc()
-		} else {
-			s.stats.truthMisses.Inc()
-		}
-	}
-	_, sp = obs.StartSpan(ctx, "score")
-	v := s.det.Detect(meas)
-	sp.End()
-	if s.stats.tierSecondsExact != nil {
-		s.stats.tierSecondsExact.Observe(time.Since(start).Seconds())
-	}
-	return v
-}
-
-// scoreTwin measures j on the twin backend and scores it with the twin
-// detector. The twin truth cache is separate from the exact one: the two
-// tiers' noise-free counts differ, so their memoisations must never mix.
-func (s *Server) scoreTwin(worker int, j *job) detect.Verdict {
-	start := time.Now()
-	ctx, sp := obs.StartSpan(j.ctx, "twin-measure")
-	meas, hit := s.twinWorkers[worker].MeasureAtCached(s.twinTruth, j.idx, j.x)
-	sp.End()
-	if s.twinTruth != nil {
-		if hit {
-			s.stats.twinTruthHits.Inc()
-		} else {
-			s.stats.twinTruthMisses.Inc()
-		}
-	}
-	_, sp = obs.StartSpan(ctx, "twin-score")
-	v := s.twinDet.Detect(meas)
-	sp.End()
-	s.stats.tierSecondsTwin.Observe(time.Since(start).Seconds())
-	return v
-}
-
-// uncertain decides whether a twin verdict must escalate to the exact tier:
-// the twin detector's own uncertainty band around the service decision
-// channel. Detectors that cannot introspect their thresholds escalate
-// everything — correct, just never faster than exact-only serving.
-func (s *Server) uncertain(v detect.Verdict) bool {
-	u, ok := s.twinDet.(detect.Uncertainty)
-	if !ok {
-		return true
-	}
-	return u.Uncertain(v, s.decIdx, s.cfg.EscalationMargin)
-}
-
-// adversarial applies the service's decision rule to one verdict: the
-// configured decision event's channel when the detector has one, otherwise
-// the detector's own fused decision.
-func (s *Server) adversarial(v detect.Verdict) bool {
-	if s.decIdx >= 0 {
-		return v.Flags[s.decIdx]
-	}
-	return v.Fused
 }
 
 // handleDetect is POST /detect: decode, validate, admit, await the verdict.
@@ -514,17 +450,14 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	// Connection-level backpressure: acquire an in-flight token before even
 	// reading the body, so an over-concurrent closed-loop client is turned
 	// away at the cheapest possible point.
-	if s.inflight != nil {
-		select {
-		case s.inflight <- struct{}{}:
-			defer func() { <-s.inflight }()
-		default:
-			w.Header().Set("Retry-After", fmt.Sprintf("%d", s.cfg.RetryAfter))
-			s.writeError(w, http.StatusTooManyRequests, "too many in-flight requests")
-			status(http.StatusTooManyRequests)
-			return
-		}
+	release, ok := s.adm.TryAcquire()
+	if !ok {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.cfg.RetryAfter))
+		s.writeError(w, http.StatusTooManyRequests, "too many in-flight requests")
+		status(http.StatusTooManyRequests)
+		return
 	}
+	defer release()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "request body too large or unreadable")
@@ -549,21 +482,12 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	_, qspan := obs.StartSpan(rctx, "queue")
 	j := &job{idx: idx, x: req.Tensor(), ctx: ctx, out: make(chan result, 1), qspan: qspan}
 
-	// Admission. The WaitGroup brackets the draining check and the enqueue
-	// so Shutdown can close the queue only after every in-flight handler
-	// has either enqueued or bailed.
-	s.enqueuers.Add(1)
-	if s.draining.Load() {
-		s.enqueuers.Done()
+	switch s.adm.Offer(j) {
+	case AdmitDraining:
 		s.writeError(w, http.StatusServiceUnavailable, "draining")
 		status(http.StatusServiceUnavailable)
 		return
-	}
-	select {
-	case s.queue <- j:
-		s.enqueuers.Done()
-	default:
-		s.enqueuers.Done()
+	case AdmitFull:
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.cfg.RetryAfter))
 		s.writeError(w, http.StatusTooManyRequests, "queue full")
 		status(http.StatusTooManyRequests)
@@ -599,7 +523,7 @@ func (s *Server) response(idx uint64, r result) Response {
 		PredictedClass: v.PredictedClass,
 		Backend:        s.det.Kind(),
 		Modelled:       v.Modelled,
-		Adversarial:    s.adversarial(v),
+		Adversarial:    adversarialAt(v, s.decIdx),
 		Tier:           r.tier,
 		Scores:         make(map[string]float64, len(s.channels)),
 		Flags:          make(map[string]bool, len(s.channels)),
@@ -620,7 +544,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	if s.draining.Load() {
+	if s.adm.Draining() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		io.WriteString(w, "draining\n")
 		return

@@ -137,10 +137,14 @@ func buildReport(tr *Trace, outcomes []Outcome, before, after Snapshot, samples 
 			tiers[o.Tier]++
 		}
 	}
-	n := float64(len(outcomes))
-	rep.Rate429 = float64(rep.Status["429"]) / n
-	rep.TimeoutRate = float64(rep.Status["504"]) / n
-	rep.ErrorRate = float64(rep.Status["err"]) / n
+	// Guard the empty run: a trace that completed zero requests (a saturated
+	// sweep point, a cancelled run) must report zero rates, not NaN — NaN is
+	// unencodable as JSON and would poison the whole report file.
+	if n := float64(len(outcomes)); n > 0 {
+		rep.Rate429 = float64(rep.Status["429"]) / n
+		rep.TimeoutRate = float64(rep.Status["504"]) / n
+		rep.ErrorRate = float64(rep.Status["err"]) / n
+	}
 	rep.WallSeconds = wall.Seconds()
 	if wall > 0 {
 		rep.ThroughputRPS = float64(rep.Completed) / wall.Seconds()
@@ -164,23 +168,27 @@ func buildReport(tr *Trace, outcomes []Outcome, before, after Snapshot, samples 
 		}
 	}
 
+	// Server-side series are summed per family rather than fetched by exact
+	// key: a single server renders one series per family (Sum == Get), while
+	// a cluster scrape repeats each family under per-replica labels and the
+	// report wants fleet totals.
 	d := after.DeltaFrom(before)
 	s := &rep.Server
-	s.TruthHits = d.Get("advhunter_truth_cache_hits_total")
-	s.TruthMisses = d.Get("advhunter_truth_cache_misses_total")
+	s.TruthHits = d.Sum("advhunter_truth_cache_hits_total")
+	s.TruthMisses = d.Sum("advhunter_truth_cache_misses_total")
 	if tot := s.TruthHits + s.TruthMisses; tot > 0 {
 		s.TruthHitRate = s.TruthHits / tot
 	}
-	s.TwinTruthHits = d.Get("advhunter_twin_truth_cache_hits_total")
-	s.TwinTruthMisses = d.Get("advhunter_twin_truth_cache_misses_total")
-	s.Screened = d.Get("advhunter_tier_screened_total")
-	s.Escalations = d.Get("advhunter_tier_escalations_total")
+	s.TwinTruthHits = d.Sum("advhunter_twin_truth_cache_hits_total")
+	s.TwinTruthMisses = d.Sum("advhunter_twin_truth_cache_misses_total")
+	s.Screened = d.Sum("advhunter_tier_screened_total")
+	s.Escalations = d.Sum("advhunter_tier_escalations_total")
 	if s.Screened > 0 {
 		s.EscalationRate = s.Escalations / s.Screened
 	}
-	s.Rejected429 = d.Get(`advhunter_requests_total{code="429"}`)
-	s.Timeouts504 = d.Get(`advhunter_requests_total{code="504"}`)
-	s.QueueCapacity = after.Get("advhunter_queue_capacity")
+	s.Rejected429 = d.SumMatch("advhunter_requests_total", "code", "429")
+	s.Timeouts504 = d.SumMatch("advhunter_requests_total", "code", "504")
+	s.QueueCapacity = after.Sum("advhunter_queue_capacity")
 	s.QueueDepthPeak = samples.queuePeak
 	s.InflightPeak = samples.inflightPeak
 	s.GaugeSamples = samples.n

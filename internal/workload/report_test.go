@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestBuildReportEmptyOutcomes: a run that completed nothing — a saturated
+// sweep point — must produce finite zero rates and encode cleanly as JSON,
+// not NaN.
+func TestBuildReportEmptyOutcomes(t *testing.T) {
+	tr := &Trace{Name: "empty", Seed: 1, Arrival: ArrivalSpec{Kind: Poisson, Rate: 1}}
+	rep := buildReport(tr, nil, Snapshot{}, Snapshot{}, &gaugeSamples{}, 0)
+	for name, v := range map[string]float64{
+		"rate_429":       rep.Rate429,
+		"timeout_rate":   rep.TimeoutRate,
+		"error_rate":     rep.ErrorRate,
+		"throughput_rps": rep.ThroughputRPS,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v != 0 {
+			t.Errorf("%s = %g, want 0", name, v)
+		}
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("empty report does not marshal: %v", err)
+	}
+}
+
+// TestSnapshotSum: family sums aggregate across label variants — the shape a
+// cluster scrape produces, one series per replica — while staying equal to
+// Get for a bare single-server series.
+func TestSnapshotSum(t *testing.T) {
+	s := Snapshot{
+		"advhunter_queue_depth":                            3,
+		`advhunter_truth_cache_hits_total{replica="0"}`:    10,
+		`advhunter_truth_cache_hits_total{replica="1"}`:    4,
+		`advhunter_requests_total{code="429",replica="0"}`: 2,
+		`advhunter_requests_total{code="429",replica="1"}`: 5,
+		`advhunter_requests_total{code="200",replica="1"}`: 90,
+		"advhunter_truth_cache_hits_total_other_family":    99, // prefix but not this family
+		`advhunter_queue_depth_peak{replica="0"}`:          7,  // likewise
+	}
+	if got := s.Sum("advhunter_queue_depth"); got != 3 {
+		t.Fatalf("bare-series sum = %g, want 3", got)
+	}
+	if got := s.Sum("advhunter_truth_cache_hits_total"); got != 14 {
+		t.Fatalf("replica sum = %g, want 14", got)
+	}
+	if got := s.SumMatch("advhunter_requests_total", "code", "429"); got != 7 {
+		t.Fatalf("SumMatch 429 = %g, want 7", got)
+	}
+	if got := s.SumMatch("advhunter_requests_total", "code", "200"); got != 90 {
+		t.Fatalf("SumMatch 200 = %g, want 90", got)
+	}
+	if got := s.SumMatch("advhunter_requests_total", "code", "404"); got != 0 {
+		t.Fatalf("SumMatch absent code = %g, want 0", got)
+	}
+}

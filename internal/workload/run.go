@@ -296,8 +296,10 @@ func startSampler(client *http.Client, base string, every time.Duration) *sample
 				if err != nil {
 					continue
 				}
-				q := snap.Get("advhunter_queue_depth")
-				in := snap.Get("advhunter_inflight_requests")
+				// Summed per family: a cluster scrape carries one queue-depth
+				// series per replica and the sampler wants fleet occupancy.
+				q := snap.Sum("advhunter_queue_depth")
+				in := snap.Sum("advhunter_inflight_requests")
 				agg.n++
 				agg.queueSum += q
 				agg.inflightSum += in

@@ -65,6 +65,51 @@ func Scrape(client *http.Client, base string) (Snapshot, error) {
 // Get returns the value of one series, 0 when absent.
 func (s Snapshot) Get(series string) float64 { return s[series] }
 
+// Sum totals every series of one metric family, whatever labels its series
+// carry. Against a single server it equals Get on the bare name; against a
+// cluster scrape, where each replica repeats the family under its own
+// replica label, it aggregates the fleet.
+func (s Snapshot) Sum(name string) float64 {
+	var total float64
+	prefix := name + "{"
+	for k, v := range s {
+		if k == name || strings.HasPrefix(k, prefix) {
+			total += v
+		}
+	}
+	return total
+}
+
+// SumMatch totals the series of one family whose label block carries every
+// given name/value pair, ignoring any extra labels (a replica label, say).
+// Pairs are matched textually against the rendered block, which is exact for
+// the label values this package deals in (status codes, tier names).
+func (s Snapshot) SumMatch(name string, pairs ...string) float64 {
+	if len(pairs)%2 != 0 {
+		panic("workload: SumMatch needs name/value pairs")
+	}
+	want := make([]string, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		want = append(want, pairs[i]+`="`+pairs[i+1]+`"`)
+	}
+	var total float64
+	prefix := name + "{"
+series:
+	for k, v := range s {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		labels := k[len(prefix)-1:]
+		for _, w := range want {
+			if !strings.Contains(labels, w) {
+				continue series
+			}
+		}
+		total += v
+	}
+	return total
+}
+
 // DeltaFrom returns after−before per series, clamped at 0 (counters only
 // move up; a series absent before counts from 0). Series present only in
 // before are dropped.

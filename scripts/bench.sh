@@ -1,14 +1,16 @@
 #!/usr/bin/env sh
-# Benchmark harness for the load-harness PR (PR 7): the micro-benchmark
+# Benchmark harness for the cluster-tier PR (PR 8): the micro-benchmark
 # families that bracket the serving stack — end-to-end inference, the batch
 # measurement set, the cache demand-access hot loop, the matmul kernel, and
 # the serve-level tier benchmarks (full HTTP handler: decode, queue, measure,
-# score, encode) — plus the NEW serve-level loadgen sweep: `advhunter loadgen
-# -sweep` boots one server per tier {exact, twin, auto} over scenario S1 and
-# drives each with three traffic shapes {poisson, bursty, closed}, recording
-# client-observed latency quantiles, throughput, backpressure rates, and the
-# server-side /metrics deltas (truth-cache hits, tier escalations, queue
-# depth) into the "serve" section of the output.
+# score, encode) — plus the serve-level loadgen sweep (`advhunter loadgen
+# -sweep`), which now ends with the NEW cluster sweeps: a saturation analysis
+# per routing-policy × replica-count (open-loop rate ladder against an
+# in-process cluster, locating the knee where goodput decouples from offered
+# load) and a truth-cache locality comparison (the same repeat-heavy request
+# stream against round-robin and fingerprint-affinity routing). The sweep
+# document lands in the "serve" section; the cluster block is additionally
+# inlined top-level as "cluster".
 #
 # Micro-benchmarks run with -benchmem -count=6; per benchmark we record the
 # MINIMUM ns/op across the six runs: this host class is a shared tenant and
@@ -19,11 +21,11 @@
 # exact-nocache p50 over twin p50 — the speedup a twin-screened request sees
 # relative to a full simulator replay.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_7.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_8.json)
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_7.json}"
+out="${1:-BENCH_8.json}"
 raw="$(mktemp)"
 tmpdir="$(mktemp -d)"
 trap 'rm -f "$raw"; rm -rf "$tmpdir"' EXIT
@@ -39,17 +41,18 @@ go test -run=NONE -bench='BenchmarkMatMul64' -benchmem -count=6 ./internal/tenso
 echo "== serve tiers (full handler, per-request quantiles) =="
 go test -run=NONE -bench='BenchmarkServeTier' -benchmem -count=6 ./internal/serve | tee -a "$raw"
 
-echo "== serve-level loadgen sweep (shapes x tiers, scenario S1) =="
+echo "== serve-level loadgen sweep (shapes x tiers + cluster knees, scenario S1) =="
 sweep="$tmpdir/sweep.json"
+clustersweep="$tmpdir/cluster.json"
 go build -o "$tmpdir/advhunter" ./cmd/advhunter
 "$tmpdir/advhunter" loadgen -sweep -scenario S1 \
     -rate 40 -duration 2s -requests 96 -clients 4 \
-    -out "$sweep"
+    -out "$sweep" -cluster-out "$clustersweep"
 
 # Aggregate: min ns/op (and min p50-ns/p99-ns where reported) per benchmark,
 # last-seen B/op and allocs/op, then emit JSON with the committed baseline
 # alongside and the loadgen sweep document inlined as the "serve" section.
-awk -v SWEEP="$sweep" '
+awk -v SWEEP="$sweep" -v CLUSTER="$clustersweep" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)          # strip GOMAXPROCS suffix if present
@@ -64,27 +67,27 @@ awk -v SWEEP="$sweep" '
     if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
 }
 END {
-    # Pre-PR baseline: the PR 6 results (min ns/op over -count=6) on the
+    # Pre-PR baseline: the PR 7 results (min ns/op over -count=6) on the
     # parent of this PR'\''s first commit, same host class.
-    base["BenchmarkEngineInferSimpleCNN"]               = "3195710 4806 0"
-    base["BenchmarkEngineInferResNet18"]                = "4729990 6091 5"
-    base["BenchmarkMeasureSet/workers=1"]               = "106299000 111759 28"
-    base["BenchmarkMeasureSet/workers=2"]               = "91446800 1237572 315"
-    base["BenchmarkMeasureSet/workers=4"]               = "89615300 3541972 893"
-    base["BenchmarkMeasureSet/workers=8"]               = "105530000 6409866 1659"
-    base["BenchmarkCacheAccess"]                        = "17.15 0 0"
-    base["BenchmarkMatMul64"]                           = "126817 32832 3"
-    base["BenchmarkServeTierResNet18/exact-nocache"]    = "5817830 319662 116"
-    base["BenchmarkServeTierResNet18/exact"]            = "473098 319656 116"
-    base["BenchmarkServeTierResNet18/twin-nocache"]     = "1533610 319683 116"
-    base["BenchmarkServeTierResNet18/twin"]             = "418413 319673 116"
-    base["BenchmarkServeTierResNet18/auto"]             = "415683 319669 116"
+    base["BenchmarkEngineInferSimpleCNN"]               = "3381240 4745 0"
+    base["BenchmarkEngineInferResNet18"]                = "4543480 7177 6"
+    base["BenchmarkMeasureSet/workers=1"]               = "98955400 93998 24"
+    base["BenchmarkMeasureSet/workers=2"]               = "100505000 1267175 322"
+    base["BenchmarkMeasureSet/workers=4"]               = "112051000 3553809 896"
+    base["BenchmarkMeasureSet/workers=8"]               = "121938000 6587510 1699"
+    base["BenchmarkCacheAccess"]                        = "16.39 0 0"
+    base["BenchmarkMatMul64"]                           = "113900 32832 3"
+    base["BenchmarkServeTierResNet18/exact-nocache"]    = "4936820 319659 116"
+    base["BenchmarkServeTierResNet18/exact"]            = "446182 319656 116"
+    base["BenchmarkServeTierResNet18/twin-nocache"]     = "1467340 319683 116"
+    base["BenchmarkServeTierResNet18/twin"]             = "399001 319672 116"
+    base["BenchmarkServeTierResNet18/auto"]             = "404367 319669 116"
 
     printf "{\n"
-    printf "  \"pr\": 7,\n"
+    printf "  \"pr\": 8,\n"
     printf "  \"count\": 6,\n"
     printf "  \"metric\": \"min ns/op (and min p50-ns/p99-ns) over count runs; B/op and allocs/op are stable\",\n"
-    printf "  \"baseline\": \"PR 6 results on the pre-PR parent commit, Intel Xeon @ 2.10GHz\",\n"
+    printf "  \"baseline\": \"PR 7 results on the pre-PR parent commit, Intel Xeon @ 2.10GHz\",\n"
     printf "  \"benchmarks\": {\n"
     for (i = 1; i <= n; i++) {
         name = order[i]
@@ -103,8 +106,20 @@ END {
     twin = p50["BenchmarkServeTierResNet18/twin"]
     ratio = (exact > 0 && twin > 0) ? exact / twin : 0
     printf "  \"serve_tier_p50_ratio\": %.1f,\n", ratio
+    # Inline the cluster block top-level: the per-policy x replica-count
+    # saturation knees and the routing-locality comparison.
+    printf "  \"cluster\": "
+    nc = 0
+    while ((getline line < CLUSTER) > 0) cl[++nc] = line
+    close(CLUSTER)
+    for (i = 1; i <= nc; i++) {
+        if (i == 1) printf "%s\n", cl[i]
+        else if (i == nc) printf "  %s,\n", cl[i]
+        else printf "  %s\n", cl[i]
+    }
     # Inline the loadgen sweep document: serve-level quantiles, throughput,
-    # and /metrics deltas for every shape x tier pair.
+    # /metrics deltas for every shape x tier pair, and the nested cluster
+    # block again in context.
     printf "  \"serve\": "
     first = 1
     while ((getline line < SWEEP) > 0) {

@@ -4,7 +4,10 @@
 // exposition linter and to a multi-layer series checklist), pulls a pprof
 // heap profile, runs a short `advhunter loadgen` burst against the live
 // listener (asserting the report parses and the client exposition lints), and
-// then checks the SIGTERM drain path exits cleanly.
+// then checks the SIGTERM drain path exits cleanly. It then repeats the
+// exercise against `advhunter cluster` with two replicas, asserting the
+// merged /metrics page lints and carries replica-labelled serve series plus
+// the cluster's own routing counters.
 //
 // It runs against scenario S1, whose model and validation measurements are
 // committed under artifacts/cache, so startup is seconds, not minutes.
@@ -33,6 +36,10 @@ func main() {
 	flag.Parse()
 	if err := run(*bin, *scenario); err != nil {
 		fmt.Fprintf(os.Stderr, "servesmoke: %v\n", err)
+		os.Exit(1)
+	}
+	if err := runCluster(*bin, *scenario); err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: cluster: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Println("servesmoke: OK")
@@ -145,6 +152,107 @@ func run(bin, scenario string) error {
 		}
 	case <-time.After(time.Minute):
 		return fmt.Errorf("serve did not exit within 1m of SIGTERM")
+	}
+	return nil
+}
+
+// runCluster boots a 2-replica cluster as a child process, fires a loadgen
+// burst at it, and lints the merged /metrics page: every replica's serve
+// series must appear under its replica label alongside the cluster's own
+// routing counters, with one family block per name (the linter rejects the
+// duplicated HELP/TYPE blocks a naive multi-registry concatenation would
+// produce). The exact tier keeps the second boot fast; the tiered series are
+// already covered by the single-server pass.
+func runCluster(bin, scenario string) error {
+	cmd := exec.Command(bin, "cluster",
+		"-scenario", scenario,
+		"-addr", "127.0.0.1:0",
+		"-replicas", "2",
+		"-policy", "affinity", // the routing path that reads request bodies
+		"-workers", "1",
+		"-tier", "exact",
+		"-log-format", "json", "-log-level", "info",
+		"-v")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("starting %s cluster: %w", bin, err)
+	}
+	defer cmd.Process.Kill() // no-op if the process already exited
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Println(line)
+			if addr, ok := parseAddr(line); ok {
+				select {
+				case addrCh <- addr:
+				default:
+				}
+			}
+		}
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(2 * time.Minute):
+		return fmt.Errorf("cluster did not announce its address within 2m")
+	}
+	base := "http://" + addr
+
+	if err := loadgenSmoke(bin, scenario, base); err != nil {
+		return err
+	}
+
+	metrics, err := get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	if err := obs.Lint(metrics); err != nil {
+		return fmt.Errorf("cluster /metrics failed the exposition linter: %w\n%s", err, metrics)
+	}
+	// The merged scrape must carry both replicas' serve series under their
+	// replica labels, the cluster's own gauges and routing counters, and the
+	// process-wide build metadata — one page, every layer.
+	for _, want := range []string{
+		"advhunter_build_info",
+		"advhunter_cluster_replicas 2",
+		`advhunter_cluster_routed_total{policy="affinity",replica="0"}`,
+		`advhunter_cluster_routed_total{policy="affinity",replica="1"}`,
+		`advhunter_queue_capacity{replica="0"}`,
+		`advhunter_queue_capacity{replica="1"}`,
+		`advhunter_pool_workers{replica="0"} 1`,
+		`advhunter_pool_workers{replica="1"} 1`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			return fmt.Errorf("cluster /metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	// The burst must have reached at least one replica-labelled serve
+	// counter: requests_total appears only once a replica has answered.
+	if !strings.Contains(string(metrics), `advhunter_requests_total{code="200",replica=`) {
+		return fmt.Errorf("cluster /metrics shows no replica-labelled 200s after the burst:\n%s", metrics)
+	}
+
+	// Graceful drain: SIGTERM must produce a clean exit.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("cluster exited uncleanly after SIGTERM: %w", err)
+		}
+	case <-time.After(time.Minute):
+		return fmt.Errorf("cluster did not exit within 1m of SIGTERM")
 	}
 	return nil
 }

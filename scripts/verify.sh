@@ -31,13 +31,13 @@ go vet ./examples/...
 echo "== test =="
 go test ./...
 
-echo "== race (parallel pipeline + detection + serving + twin + observability + workload + cache runs) =="
-go test -race ./internal/parallel ./internal/core ./internal/engine ./internal/detect ./internal/serve ./internal/twin ./internal/obs ./internal/workload ./internal/uarch/cache
+echo "== race (parallel pipeline + detection + serving + cluster + twin + observability + workload + cache runs) =="
+go test -race ./internal/parallel ./internal/core ./internal/engine ./internal/detect ./internal/serve ./internal/cluster ./internal/twin ./internal/obs ./internal/workload ./internal/uarch/cache
 
 echo "== bench smoke (compile + one iteration of every benchmark) =="
 go test -run=NONE -bench=. -benchtime=1x ./...
 
-echo "== serve smoke (/metrics + pprof + loadgen burst + graceful drain) =="
+echo "== serve smoke (/metrics + pprof + loadgen burst + 2-replica cluster + graceful drain) =="
 smoketmp="$(mktemp -d)"
 trap 'rm -rf "$smoketmp"' EXIT
 go build -o "$smoketmp/advhunter" ./cmd/advhunter
