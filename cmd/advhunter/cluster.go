@@ -56,12 +56,12 @@ func cmdCluster(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	c := cluster.New(cluster.Config{
+	c := cluster.New(sopts.clusterObs(cluster.Config{
 		Replicas:    *replicas,
 		Policy:      *policy,
 		MaxInflight: *clusterInflight,
 		Logger:      logger,
-	}, replicaBuilder(env, det, cfg))
+	}), replicaBuilder(env, det, cfg))
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -81,8 +81,8 @@ func cmdCluster(args []string, stdout, stderr io.Writer) error {
 	}()
 	// Same announcement shape as `serve`: scripted callers
 	// (scripts/servesmoke) parse the address out of this line.
-	fmt.Fprintf(stdout, "serving %s (%s × %s, tier %s, %d replicas, policy %s) on %s — POST /detect, GET /healthz /readyz /metrics\n",
-		env.Scn.ID, env.Scn.Dataset, env.Scn.Arch, *sopts.tier, *replicas, c.Policy(), ln.Addr())
+	fmt.Fprintf(stdout, "serving %s (%s × %s, tier %s, %d replicas, policy %s) on %s — POST /detect, GET /healthz /readyz /metrics%s\n",
+		env.Scn.ID, env.Scn.Dataset, env.Scn.Arch, *sopts.tier, *replicas, c.Policy(), ln.Addr(), sopts.obsEndpoints(true))
 
 	select {
 	case err := <-errc:

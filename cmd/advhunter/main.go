@@ -14,6 +14,7 @@
 //	advhunter twin-profile -scenario S2 [-dir artifacts/twin] [-knots 16] [-force]
 //	advhunter serve -scenario S2 -addr :8080 [-detector FILE] [-backend gmm] [-tier auto]
 //	advhunter loadgen -scenario S1 [-target URL] [-shape poisson] [-rate 50] [-sweep]
+//	advhunter watch -target http://host:8080 [-interval 2s]
 package main
 
 import (
@@ -81,6 +82,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdCluster(args[1:], stdout, stderr)
 	case "loadgen":
 		err = cmdLoadgen(args[1:], stdout, stderr)
+	case "watch":
+		err = cmdWatch(args[1:], stdout, stderr)
 	case "-h", "--help", "help":
 		usage(stdout)
 		return 0
@@ -114,6 +117,7 @@ commands:
   serve       run the online detection service (HTTP JSON, /detect)
   cluster     run the multi-replica serving tier (N replicas behind a routing policy, merged /metrics)
   loadgen     drive a serve instance with synthetic traffic and report latency, throughput, and backpressure
+  watch       live terminal dashboard over a running serve or cluster (-target URL)
 
 run 'advhunter <command> -h' for flags.`)
 }
@@ -605,8 +609,8 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	}()
 	// Print the listener's actual address: with ":0" the kernel picks the
 	// port, and scripted callers (scripts/servesmoke) parse this line.
-	fmt.Fprintf(stdout, "serving %s (%s × %s, tier %s) on %s — POST /detect, GET /healthz /readyz /metrics\n",
-		env.Scn.ID, env.Scn.Dataset, env.Scn.Arch, *sopts.tier, ln.Addr())
+	fmt.Fprintf(stdout, "serving %s (%s × %s, tier %s) on %s — POST /detect, GET /healthz /readyz /metrics%s\n",
+		env.Scn.ID, env.Scn.Dataset, env.Scn.Arch, *sopts.tier, ln.Addr(), sopts.obsEndpoints(false))
 
 	select {
 	case err := <-errc:

@@ -14,6 +14,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"os"
 	"path/filepath"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"advhunter/internal/data"
 	"advhunter/internal/detect"
 	"advhunter/internal/experiments"
+	"advhunter/internal/obs"
 	"advhunter/internal/serve"
 	"advhunter/internal/twin"
 	"advhunter/internal/uarch/hpc"
@@ -40,6 +42,16 @@ type serveOpts struct {
 	tier        *string
 	twinDir     *string
 	margin      *float64
+
+	// Observability: the flight recorder, request traces, and alerting are
+	// all opt-in so the default boot stays byte-for-byte what it was.
+	flight        *time.Duration
+	flightSamples *int
+	traceRing     *int
+	traceLog      *string
+	alerts        *bool
+	alertInterval *time.Duration
+	alertFor      *time.Duration
 }
 
 func serveFlags(fs *flag.FlagSet) serveOpts {
@@ -54,6 +66,14 @@ func serveFlags(fs *flag.FlagSet) serveOpts {
 		tier:        fs.String("tier", serve.TierExact, "serving tier: exact, twin (analytical twin only), or auto (twin screens, uncertain verdicts escalate to exact)"),
 		twinDir:     fs.String("twin-dir", "artifacts/twin", "precomputed twin-table directory (tables are profiled on a miss; used when -tier is twin or auto)"),
 		margin:      fs.Float64("margin", 0.15, "auto-tier escalation band around the detector threshold (0 = default, negative = never escalate)"),
+
+		flight:        fs.Duration("flight", 0, "flight-recorder sampling interval (0 disables; negative = manual mode, sampled only when /debug/flight is queried)"),
+		flightSamples: fs.Int("flight-samples", 0, "flight-recorder ring depth per series (0 = default 256)"),
+		traceRing:     fs.Int("trace-ring", 0, "request-trace ring capacity; enables /debug/trace (0 disables)"),
+		traceLog:      fs.String("trace-log", "", "append finished request traces as JSONL to this file (implies a trace ring)"),
+		alerts:        fs.Bool("alerts", false, "run the stock alert rules (latency-p99, error-rate, detect-drift) and expose /alerts"),
+		alertInterval: fs.Duration("alert-interval", 0, "background alert-evaluation cadence (0 = evaluate on each /alerts request instead)"),
+		alertFor:      fs.Duration("alert-for", 0, "how long a rule must breach before it fires (0 = immediately)"),
 	}
 }
 
@@ -100,6 +120,21 @@ func (o serveOpts) config(env *experiments.Env, dopts detectorOpts, det *detect.
 		Logger:         logger,
 		TruthCacheSize: truthSize,
 		MaxInflight:    *o.maxInflight,
+		FlightInterval: *o.flight,
+		FlightSamples:  *o.flightSamples,
+		TraceRing:      *o.traceRing,
+		AlertRules:     o.alertRules(),
+		AlertInterval:  *o.alertInterval,
+		AlertFor:       *o.alertFor,
+	}
+	if *o.traceLog != "" {
+		f, err := os.OpenFile(*o.traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return serve.Config{}, fmt.Errorf("opening trace log: %w", err)
+		}
+		// The file stays open for the process lifetime: traces stream until
+		// shutdown, and O_APPEND keeps concurrent replica writes whole lines.
+		cfg.TraceLog = f
 	}
 	if tier != serve.TierExact {
 		dcfg, err := dopts.config()
@@ -122,6 +157,47 @@ func (o serveOpts) config(env *experiments.Env, dopts detectorOpts, det *detect.
 		cfg.EscalationMargin = *o.margin
 	}
 	return cfg, nil
+}
+
+// alertRules returns a fresh stock rule set when -alerts is on, nil
+// otherwise. Rules are stateful, so every engine (each replica, or the
+// cluster router) must get its own set — hence a constructor, not a field.
+func (o serveOpts) alertRules() []obs.Rule {
+	if o.alerts == nil || !*o.alerts {
+		return nil
+	}
+	return serve.DefaultAlertRules()
+}
+
+// obsEndpoints renders the observability endpoints the current flags turn on,
+// for the boot announcement line. alwaysTrace is the cluster router, whose
+// merged /debug/trace is registered unconditionally.
+func (o serveOpts) obsEndpoints(alwaysTrace bool) string {
+	var s string
+	if *o.flight != 0 || *o.alerts {
+		s += " /debug/flight"
+	}
+	if alwaysTrace || *o.traceRing > 0 || *o.traceLog != "" {
+		s += " /debug/trace"
+	}
+	if *o.alerts {
+		s += " /alerts"
+	}
+	return s
+}
+
+// clusterObs copies the observability selections to the cluster router's
+// config, where the flight recorder spans the router and every replica
+// registry and the alert engine judges fleet-wide aggregates. The per-replica
+// serve.Config keeps its own recorder and rules too: fleet totals answer "is
+// the service healthy", per-replica history answers "which replica isn't".
+func (o serveOpts) clusterObs(ccfg cluster.Config) cluster.Config {
+	ccfg.FlightInterval = *o.flight
+	ccfg.FlightSamples = *o.flightSamples
+	ccfg.AlertRules = o.alertRules()
+	ccfg.AlertInterval = *o.alertInterval
+	ccfg.AlertFor = *o.alertFor
+	return ccfg
 }
 
 // buildServeStack is the one construction path behind `serve`, `cluster`, and

@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"advhunter/internal/core"
 	"advhunter/internal/obs"
@@ -36,6 +38,28 @@ type Config struct {
 	// Logger receives the cluster's structured records. nil selects
 	// slog.Default().
 	Logger *slog.Logger
+
+	// FlightInterval enables the fleet flight recorder, sampling the cluster
+	// registry and every replica's registry into one short-term history —
+	// /debug/flight serves the merged view (per-replica series side by side,
+	// family queries aggregating the fleet). > 0 samples at that cadence;
+	// < 0 builds the recorder in manual mode (sampled on demand by each
+	// /debug/flight or /alerts request); 0 leaves it off unless AlertRules
+	// demand one.
+	FlightInterval time.Duration
+	// FlightSamples caps each recorded series' ring (default 256).
+	FlightSamples int
+	// AlertRules enables fleet-level alerting over the merged recorder: the
+	// same rule shapes serve uses (serve.DefaultAlertRules), but judging
+	// fleet totals — a drift rule here watches the summed flag rate across
+	// every replica. Surfaced as /alerts and the advhunter_alert_active
+	// gauge on the cluster registry.
+	AlertRules []obs.Rule
+	// AlertInterval is the background evaluation cadence; <= 0 evaluates on
+	// each /alerts request instead.
+	AlertInterval time.Duration
+	// AlertFor is the firing hysteresis (0 fires on the first breach).
+	AlertFor time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +92,10 @@ type Cluster struct {
 	rejected *obs.Counter
 	logger   *slog.Logger
 	mux      *http.ServeMux
+
+	rids   atomic.Uint64    // cluster-generated request ids ("c" prefix)
+	flight *obs.Recorder    // nil unless FlightInterval or AlertRules enable it
+	alerts *obs.AlertEngine // nil unless AlertRules enable it
 }
 
 // New assembles a cluster, calling build once per replica index to construct
@@ -121,6 +149,24 @@ func New(cfg Config, build func(replica int) *serve.Server) *Cluster {
 			func() float64 { return float64(c.adm.InflightCapacity()) })
 	}
 
+	// Fleet observability: the recorder samples the cluster registry plus
+	// every replica's (replica-labelled) registry, so family-level queries —
+	// and the alert rules over them — see fleet totals.
+	if cfg.FlightInterval != 0 || len(cfg.AlertRules) > 0 {
+		iv := cfg.FlightInterval
+		if iv < 0 {
+			iv = 0 // manual mode: sample on demand
+		}
+		c.flight = obs.NewRecorder(obs.RecorderConfig{
+			Interval: iv, Samples: cfg.FlightSamples,
+		}, regs...)
+	}
+	if len(cfg.AlertRules) > 0 {
+		c.alerts = obs.NewAlertEngine(c.reg, c.flight, cfg.AlertRules, obs.AlertConfig{
+			Interval: cfg.AlertInterval, For: cfg.AlertFor, Logger: c.logger,
+		})
+	}
+
 	c.mux = http.NewServeMux()
 	c.mux.HandleFunc("/detect", c.handleDetect)
 	c.mux.HandleFunc("/healthz", c.handleHealthz)
@@ -130,6 +176,19 @@ func New(cfg Config, build func(replica int) *serve.Server) *Cluster {
 	// family block per name), and the process-wide registry.
 	c.mux.Handle("/metrics", obs.MergedHandler(append(regs, obs.Default)...))
 	c.mux.Handle("/debug/build", obs.BuildInfoHandler())
+	if c.flight != nil {
+		c.mux.Handle("/debug/flight", c.flight.Handler())
+	}
+	// /debug/trace merges whatever replicas have tracing on; with tracing
+	// off everywhere it serves an empty page.
+	rings := make([]*obs.TraceRing, len(c.replicas))
+	for i, s := range c.replicas {
+		rings[i] = s.Traces()
+	}
+	c.mux.Handle("/debug/trace", obs.TraceHandler(rings...))
+	if c.alerts != nil {
+		c.mux.Handle("/alerts", c.alerts.Handler())
+	}
 	return c
 }
 
@@ -141,6 +200,12 @@ func (c *Cluster) Replicas() []*serve.Server { return c.replicas }
 
 // Policy returns the active routing policy name.
 func (c *Cluster) Policy() string { return c.router.Policy() }
+
+// Flight returns the cluster's fleet flight recorder, or nil when disabled.
+func (c *Cluster) Flight() *obs.Recorder { return c.flight }
+
+// Alerts returns the cluster's alert engine, or nil when disabled.
+func (c *Cluster) Alerts() *obs.AlertEngine { return c.alerts }
 
 // Shutdown drains the cluster: the cluster gate stops admitting, then every
 // replica drains concurrently. The first replica error (or the context's)
@@ -157,6 +222,14 @@ func (c *Cluster) Shutdown(ctx context.Context) error {
 		}(i, s)
 	}
 	wg.Wait()
+	// Quiesce the fleet observability loops once every replica has drained;
+	// both Stops are idempotent, so re-entrant Shutdowns are fine.
+	if c.alerts != nil {
+		c.alerts.Stop()
+	}
+	if c.flight != nil {
+		c.flight.Stop()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -170,6 +243,17 @@ func (c *Cluster) Shutdown(ctx context.Context) error {
 // per-replica admission, the verdict, the response bytes — so a cluster of
 // one replica answers byte-identically to that replica served directly.
 func (c *Cluster) handleDetect(w http.ResponseWriter, r *http.Request) {
+	// One request id across the hop: a well-formed caller-supplied
+	// X-Request-ID passes through untouched; otherwise the cluster mints one
+	// ("c" prefix) and stamps it on the delegated request, so the replica
+	// adopts it — the routed log below, the replica's request log, and the
+	// replica's trace record all carry the same id.
+	id := r.Header.Get("X-Request-ID")
+	if !obs.ValidRequestID(id) {
+		id = "c" + strconv.FormatUint(c.rids.Add(1), 10)
+		r.Header.Set("X-Request-ID", id)
+	}
+	rctx := obs.WithRequestID(r.Context(), id)
 	release, ok := c.adm.TryAcquire()
 	if !ok {
 		c.rejected.Inc()
@@ -203,6 +287,9 @@ func (c *Cluster) handleDetect(w http.ResponseWriter, r *http.Request) {
 	}
 	target := c.router.Route(fp, fpOK)
 	c.routed[target].Inc()
+	c.logger.DebugContext(rctx, "routed",
+		slog.Int("replica", target),
+		slog.String("policy", c.router.Policy()))
 	c.replicas[target].Handler().ServeHTTP(w, r)
 }
 

@@ -14,6 +14,7 @@ type ctxKey int
 const (
 	requestIDKey ctxKey = iota
 	tracerKey
+	traceKey
 )
 
 // WithRequestID returns a context carrying a request id. Every log record
@@ -29,6 +30,26 @@ func WithRequestID(ctx context.Context, id string) context.Context {
 func RequestIDFrom(ctx context.Context) (string, bool) {
 	id, ok := ctx.Value(requestIDKey).(string)
 	return id, ok
+}
+
+// ValidRequestID reports whether s is acceptable as a caller-supplied
+// X-Request-ID: 1–128 characters from [0-9A-Za-z._-]. Anything else — empty,
+// oversized, or carrying header-hostile bytes — is rejected and the server
+// generates its own id instead.
+func ValidRequestID(s string) bool {
+	if len(s) == 0 || len(s) > 128 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'A' && c <= 'Z', c >= 'a' && c <= 'z',
+			c == '-', c == '.', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // ctxHandler decorates an slog.Handler with context-carried attributes.

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -99,6 +100,83 @@ func TestWriteMerged(t *testing.T) {
 	}
 	if err := Lint([]byte(out)); err != nil {
 		t.Fatalf("merged exposition fails lint: %v\n%s", err, out)
+	}
+}
+
+// TestWriteMergedZeroRegistries: merging nothing (or only nils) renders an
+// empty, lint-clean exposition rather than erroring — a cluster with no
+// replicas yet is a valid scrape target.
+func TestWriteMergedZeroRegistries(t *testing.T) {
+	var b strings.Builder
+	n, err := WriteMerged(&b)
+	if err != nil || n != 0 || b.String() != "" {
+		t.Fatalf("WriteMerged() = %d,%v,%q; want 0,nil,empty", n, err, b.String())
+	}
+	if err := Lint([]byte(b.String())); err != nil {
+		t.Fatalf("empty exposition fails lint: %v", err)
+	}
+
+	b.Reset()
+	if _, err := WriteMerged(&b, nil, nil); err != nil || b.String() != "" {
+		t.Fatalf("WriteMerged(nil, nil) = %v,%q; want nil,empty", err, b.String())
+	}
+
+	rr := httptest.NewRecorder()
+	MergedHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 || rr.Body.Len() != 0 {
+		t.Fatalf("empty MergedHandler = %d %q", rr.Code, rr.Body.String())
+	}
+}
+
+// TestWriteMergedSingleRegistry: merging one registry degenerates to WriteTo
+// byte for byte — the single-replica cluster must scrape like plain serve.
+func TestWriteMergedSingleRegistry(t *testing.T) {
+	reg := newReplicaRegistry(t, "0", 4)
+	var solo, merged strings.Builder
+	if _, err := reg.WriteTo(&solo); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteMerged(&merged, reg); err != nil {
+		t.Fatal(err)
+	}
+	if solo.String() != merged.String() {
+		t.Fatalf("single-registry merge diverges from WriteTo:\n--- WriteTo\n%s--- WriteMerged\n%s",
+			solo.String(), merged.String())
+	}
+	if err := Lint([]byte(merged.String())); err != nil {
+		t.Fatalf("single-registry merge fails lint: %v", err)
+	}
+}
+
+// TestWriteMergedMixedConstLabels: a registry without const labels merging a
+// family that labelled registries also export must stay lint-clean — the
+// unlabelled series and the replica-labelled ones are distinct, and the
+// family block stays contiguous.
+func TestWriteMergedMixedConstLabels(t *testing.T) {
+	plain := NewRegistry()
+	plain.Counter("advhunter_requests_total", "HTTP requests by status code.", "code").With("200").Add(2)
+	r0 := newReplicaRegistry(t, "0", 5)
+	r1 := newReplicaRegistry(t, "1", 9)
+
+	var b strings.Builder
+	if _, err := WriteMerged(&b, plain, r0, r1); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`advhunter_requests_total{code="200"} 2`,
+		`advhunter_requests_total{code="200",replica="0"} 5`,
+		`advhunter_requests_total{code="200",replica="1"} 9`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "# TYPE advhunter_requests_total counter"); got != 1 {
+		t.Fatalf("family block split: %d TYPE lines:\n%s", got, out)
+	}
+	if err := Lint([]byte(out)); err != nil {
+		t.Fatalf("mixed const-label merge fails lint: %v\n%s", err, out)
 	}
 }
 

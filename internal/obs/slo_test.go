@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLatencyBurnRule: not ready without observations; breaches when the
+// windowed quantile crosses the threshold.
+func TestLatencyBurnRule(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("advhunter_request_duration_seconds", "lat.", []float64{0.01, 0.1, 1}).With()
+	rec := NewRecorder(RecorderConfig{}, reg)
+	defer rec.Stop()
+
+	rule := &LatencyBurnRule{RuleName: "latency-p99", Family: "advhunter_request_duration_seconds",
+		Q: 0.99, Threshold: 0.05}
+
+	if st := rule.Eval(rec, time.Now()); st.Ready {
+		t.Fatalf("ready with no observations: %+v", st)
+	}
+
+	time.Sleep(2 * time.Millisecond)
+	for i := 0; i < 20; i++ {
+		h.Observe(0.005) // all under 0.01: p99 ≈ 0.0099 < 0.05
+	}
+	rec.Sample()
+	if st := rule.Eval(rec, time.Now()); !st.Ready || st.Breach {
+		t.Fatalf("fast traffic judged breaching: %+v", st)
+	}
+
+	time.Sleep(2 * time.Millisecond)
+	for i := 0; i < 200; i++ {
+		h.Observe(0.5) // p99 lands in (0.1, 1]
+	}
+	rec.Sample()
+	if st := rule.Eval(rec, time.Now()); !st.Ready || !st.Breach {
+		t.Fatalf("slow traffic not breaching: %+v", st)
+	}
+}
+
+// TestErrorRateRule: the 429/5xx fraction judges deterministically (both
+// rates share the window), respects MinRate gating and custom classifiers.
+func TestErrorRateRule(t *testing.T) {
+	reg := NewRegistry()
+	req := reg.Counter("advhunter_requests_total", "reqs.", "code")
+	// Materialise the children before the recorder's first sample: a series
+	// needs two samples in the window before it contributes a rate.
+	for _, code := range []string{"200", "429", "503", "418"} {
+		req.With(code)
+	}
+	rec := NewRecorder(RecorderConfig{}, reg)
+	defer rec.Stop()
+
+	rule := &ErrorRateRule{RuleName: "error-rate", Family: "advhunter_requests_total",
+		Threshold: 0.1, MinRate: 0.001}
+
+	if st := rule.Eval(rec, time.Now()); st.Ready {
+		t.Fatalf("ready with no traffic: %+v", st)
+	}
+
+	time.Sleep(2 * time.Millisecond)
+	req.With("200").Add(95)
+	req.With("429").Add(3)
+	req.With("503").Add(2)
+	rec.Sample()
+	st := rule.Eval(rec, time.Now())
+	if !st.Ready || st.Breach {
+		t.Fatalf("5%% errors judged breaching: %+v", st)
+	}
+	if st.Value < 0.049 || st.Value > 0.051 {
+		t.Fatalf("error fraction = %v, want 0.05", st.Value)
+	}
+
+	time.Sleep(2 * time.Millisecond)
+	req.With("429").Add(100)
+	rec.Sample()
+	if st := rule.Eval(rec, time.Now()); !st.Ready || !st.Breach {
+		t.Fatalf("429 flood not breaching: %+v", st)
+	}
+
+	// A custom classifier changes what counts as an error.
+	benign := &ErrorRateRule{RuleName: "teapots", Family: "advhunter_requests_total",
+		Threshold: 0.5, MinRate: 0.001, ErrorCode: func(code string) bool { return code == "418" }}
+	if st := benign.Eval(rec, time.Now()); !st.Ready || st.Breach {
+		t.Fatalf("custom classifier misjudged: %+v", st)
+	}
+}
+
+// TestDriftRule: the attack signal — fits a clean baseline over the first
+// qualifying evaluations, fires when the flag rate ramps, resolves when
+// traffic cleans up, and refuses to judge starved evaluations.
+func TestDriftRule(t *testing.T) {
+	reg := NewRegistry()
+	scans := reg.Counter("advhunter_scans_total", "scans.", "backend").With("gmm")
+	flagged := reg.Counter("advhunter_flagged_total", "flagged.", "backend").With("gmm")
+	rec := NewRecorder(RecorderConfig{}, reg)
+	defer rec.Stop()
+
+	rule := &DriftRule{RuleName: "detect-drift",
+		Scans: "advhunter_scans_total", Flagged: "advhunter_flagged_total",
+		FitEvals: 3, Sigma: 3, StdFloor: 0.02, MinScans: 20}
+	now := time.Now()
+
+	// First eval only anchors the cursors.
+	if st := rule.Eval(rec, now); st.Ready {
+		t.Fatalf("first eval judged: %+v", st)
+	}
+
+	// Starved eval: 5 new scans < MinScans — no judgement, no cursor move.
+	scans.Add(5)
+	rec.Sample()
+	if st := rule.Eval(rec, now); st.Ready {
+		t.Fatalf("starved eval judged: %+v", st)
+	}
+
+	// Three clean rounds at a 5% flag rate fit the baseline.
+	for i := 0; i < 3; i++ {
+		scans.Add(100)
+		flagged.Add(5)
+		rec.Sample()
+		if st := rule.Eval(rec, now); st.Ready {
+			t.Fatalf("fit round %d judged: %+v", i, st)
+		}
+	}
+	mean, std, ok := rule.Baseline()
+	if !ok {
+		t.Fatal("baseline not frozen after FitEvals rounds")
+	}
+	// Round 1 includes the 5 unflagged starved scans: 5/105 ≈ 0.0476; the
+	// rest are exactly 0.05. Mean sits just under 0.05, std near zero.
+	if mean < 0.04 || mean > 0.06 || std > 0.01 {
+		t.Fatalf("baseline = %v ± %v", mean, std)
+	}
+
+	// Clean traffic after the fit: within mean + 3·max(std, 0.02).
+	scans.Add(100)
+	flagged.Add(6)
+	rec.Sample()
+	if st := rule.Eval(rec, now); !st.Ready || st.Breach {
+		t.Fatalf("clean round judged breaching: %+v", st)
+	}
+
+	// Attack ramp: 40% flag rate, far above the band.
+	scans.Add(100)
+	flagged.Add(40)
+	rec.Sample()
+	if st := rule.Eval(rec, now); !st.Ready || !st.Breach {
+		t.Fatalf("attack ramp not breaching: %+v", st)
+	}
+
+	// Back to clean: resolves.
+	scans.Add(100)
+	flagged.Add(5)
+	rec.Sample()
+	if st := rule.Eval(rec, now); !st.Ready || st.Breach {
+		t.Fatalf("post-attack clean round still breaching: %+v", st)
+	}
+}
+
+// TestDriftRuleExplicitBaseline: a given CleanRate/CleanStd skips fitting.
+func TestDriftRuleExplicitBaseline(t *testing.T) {
+	reg := NewRegistry()
+	scans := reg.Counter("s_total", "s.").With()
+	flagged := reg.Counter("f_total", "f.").With()
+	rec := NewRecorder(RecorderConfig{}, reg)
+	defer rec.Stop()
+
+	rule := &DriftRule{RuleName: "d", Scans: "s_total", Flagged: "f_total",
+		CleanRate: 0.05, CleanStd: 0.01, MinScans: 10}
+	now := time.Now()
+	rule.Eval(rec, now) // anchor cursors
+
+	scans.Add(100)
+	flagged.Add(30)
+	rec.Sample()
+	st := rule.Eval(rec, now)
+	if !st.Ready || !st.Breach {
+		t.Fatalf("explicit baseline did not judge immediately: %+v", st)
+	}
+	// Threshold = 0.05 + 3·max(0.01, 0.02) = 0.11.
+	if st.Threshold < 0.109 || st.Threshold > 0.111 {
+		t.Fatalf("threshold = %v, want 0.11", st.Threshold)
+	}
+}
+
+// fakeRule drives the engine deterministically.
+type fakeRule struct {
+	name   string
+	status RuleStatus
+}
+
+func (r *fakeRule) Name() string                         { return r.name }
+func (r *fakeRule) Describe() string                     { return "fake" }
+func (r *fakeRule) Eval(*Recorder, time.Time) RuleStatus { return r.status }
+func (r *fakeRule) set(breach, ready bool, v, thr float64) {
+	r.status = RuleStatus{Value: v, Threshold: thr, Breach: breach, Ready: ready}
+}
+
+// TestAlertEngineTransitions: ok → pending → firing with For hysteresis,
+// resolve on recovery, gauge/counter/log side effects, and not-ready holds.
+func TestAlertEngineTransitions(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(RecorderConfig{}, NewRegistry())
+	defer rec.Stop()
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
+	rule := &fakeRule{name: "r1"}
+	eng := NewAlertEngine(reg, rec, []Rule{rule}, AlertConfig{For: 10 * time.Millisecond, Logger: logger})
+	defer eng.Stop()
+
+	now := time.Now()
+	rule.set(true, true, 0.5, 0.1)
+	eng.EvalOnce(now)
+	if eng.Firing("r1") {
+		t.Fatal("fired before For elapsed")
+	}
+	views := eng.Snapshot()
+	if views[0].State != AlertPending {
+		t.Fatalf("state = %q, want pending", views[0].State)
+	}
+
+	// Not-ready mid-pending holds the state rather than resetting it.
+	rule.set(false, false, 0, 0)
+	eng.EvalOnce(now.Add(5 * time.Millisecond))
+	if eng.Snapshot()[0].State != AlertPending {
+		t.Fatal("not-ready eval reset pending")
+	}
+
+	rule.set(true, true, 0.5, 0.1)
+	eng.EvalOnce(now.Add(15 * time.Millisecond))
+	if !eng.Firing("r1") {
+		t.Fatal("did not fire after For elapsed")
+	}
+	if !strings.Contains(logBuf.String(), "alert firing") {
+		t.Fatalf("no firing transition log:\n%s", logBuf.String())
+	}
+
+	var b strings.Builder
+	reg.WriteTo(&b)
+	out := b.String()
+	for _, want := range []string{
+		`advhunter_alert_active{rule="r1"} 1`,
+		`advhunter_alert_fired_total{rule="r1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	rule.set(false, true, 0.01, 0.1)
+	eng.EvalOnce(now.Add(20 * time.Millisecond))
+	if eng.Firing("r1") {
+		t.Fatal("did not resolve")
+	}
+	if !strings.Contains(logBuf.String(), "alert resolved") {
+		t.Fatalf("no resolved transition log:\n%s", logBuf.String())
+	}
+	b.Reset()
+	reg.WriteTo(&b)
+	if !strings.Contains(b.String(), `advhunter_alert_active{rule="r1"} 0`) {
+		t.Fatalf("active gauge not cleared:\n%s", b.String())
+	}
+}
+
+// TestAlertEngineImmediateFire: For = 0 fires on the first breaching eval.
+func TestAlertEngineImmediateFire(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(RecorderConfig{}, NewRegistry())
+	defer rec.Stop()
+	rule := &fakeRule{name: "fast"}
+	eng := NewAlertEngine(reg, rec, []Rule{rule}, AlertConfig{})
+	defer eng.Stop()
+	rule.set(true, true, 1, 0.1)
+	eng.EvalOnce(time.Now())
+	if !eng.Firing("fast") {
+		t.Fatal("For=0 did not fire immediately")
+	}
+}
+
+// TestAlertsHandler: a manual engine evaluates on GET and serves the rule
+// states as JSON.
+func TestAlertsHandler(t *testing.T) {
+	reg := NewRegistry()
+	scans := reg.Counter("s_total", "s.").With()
+	flagged := reg.Counter("f_total", "f.").With()
+	rec := NewRecorder(RecorderConfig{}, reg)
+	defer rec.Stop()
+	rule := &DriftRule{RuleName: "drift", Scans: "s_total", Flagged: "f_total",
+		CleanRate: 0.05, CleanStd: 0.01, MinScans: 10}
+	eng := NewAlertEngine(reg, rec, []Rule{rule}, AlertConfig{})
+	defer eng.Stop()
+
+	get := func() []AlertView {
+		t.Helper()
+		rr := httptest.NewRecorder()
+		eng.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/alerts", nil))
+		var page struct {
+			Alerts []AlertView `json:"alerts"`
+		}
+		if err := json.Unmarshal(rr.Body.Bytes(), &page); err != nil {
+			t.Fatalf("alerts page not JSON: %v\n%s", err, rr.Body.String())
+		}
+		return page.Alerts
+	}
+
+	if alerts := get(); len(alerts) != 1 || alerts[0].State != AlertOK {
+		t.Fatalf("initial page = %+v", alerts)
+	}
+	scans.Add(100)
+	flagged.Add(40)
+	// The manual handler samples and evaluates per GET — no test-side Sample.
+	alerts := get()
+	if alerts[0].State != AlertFiring || alerts[0].FiredTotal != 1 {
+		t.Fatalf("after ramp = %+v", alerts)
+	}
+	if alerts[0].Describe == "" {
+		t.Fatal("rule description missing from page")
+	}
+}

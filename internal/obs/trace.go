@@ -65,7 +65,8 @@ type Span struct {
 	start time.Time
 }
 
-// End closes the span: the duration is recorded into the stage histogram
+// End closes the span: the duration is recorded into the stage histogram,
+// appended to the context's active trace record (if one is being built),
 // and, if the tracer logs, emitted as a debug record.
 func (s *Span) End() {
 	if s == nil {
@@ -73,6 +74,7 @@ func (s *Span) End() {
 	}
 	d := time.Since(s.start)
 	s.t.stages.With(s.stage).Observe(d.Seconds())
+	TraceFrom(s.ctx).stage(s.stage, s.start, d)
 	if s.t.logger != nil {
 		s.t.logger.DebugContext(s.ctx, "span",
 			slog.String("stage", s.stage),

@@ -122,18 +122,27 @@ func TestMetricsExposition(t *testing.T) {
 }
 
 // TestObsIsObserveOnly is the determinism guard for the observability layer:
-// a server with debug-level JSON logging (which also emits every span record)
-// must return byte-identical /detect responses to a server with logging off.
+// a server with every observability surface enabled — debug-level JSON
+// logging (which also emits every span record), the flight recorder, the
+// trace ring with a JSONL sink, and the alert engine — must return
+// byte-identical /detect responses to a server with all of it off.
 // Instrumentation observes the pipeline; it never steers it.
 func TestObsIsObserveOnly(t *testing.T) {
 	f := getFixture(t)
-	var logs lockedBuffer
+	var logs, traceLog lockedBuffer
 	verbose, err := obs.NewLogger(&logs, slog.LevelDebug, "json")
 	if err != nil {
 		t.Fatal(err)
 	}
 	_, quietTS := newServer(t, f, Config{Workers: 2})
-	_, loudTS := newServer(t, f, Config{Workers: 2, Logger: verbose})
+	loud, loudTS := newServer(t, f, Config{
+		Workers:        2,
+		Logger:         verbose,
+		FlightInterval: -1, // manual mode: deterministic, still fully wired
+		TraceRing:      32,
+		TraceLog:       &traceLog,
+		AlertRules:     DefaultAlertRules(),
+	})
 
 	queries := make([]Request, 0, 8)
 	for i := 0; i < 4; i++ {
@@ -147,8 +156,67 @@ func TestObsIsObserveOnly(t *testing.T) {
 			t.Fatalf("query %d: statuses %d/%d", qi, resp1.StatusCode, resp2.StatusCode)
 		}
 		if !bytes.Equal(body1, body2) {
-			t.Fatalf("query %d: responses diverged with logging enabled:\nquiet: %s\nloud:  %s",
+			t.Fatalf("query %d: responses diverged with observability enabled:\nquiet: %s\nloud:  %s",
 				qi, body1, body2)
+		}
+		if id := resp2.Header.Get("X-Request-ID"); !strings.HasPrefix(id, "r") {
+			t.Fatalf("query %d: loud server echoed no request id (got %q)", qi, id)
+		}
+	}
+
+	// The trace ring captured every request as one wide event: id, status,
+	// backend, verdict, and the pipeline stages, with the queue wait split out.
+	traces := loud.Traces().Last(len(queries))
+	if len(traces) != len(queries) {
+		t.Fatalf("trace ring holds %d records, want %d", len(traces), len(queries))
+	}
+	for _, tr := range traces {
+		if !strings.HasPrefix(tr.ID, "r") || tr.Status != http.StatusOK {
+			t.Fatalf("trace = %+v", tr)
+		}
+		if tr.Backend != "gmm" || (tr.Verdict != "adversarial" && tr.Verdict != "benign") {
+			t.Fatalf("trace missing routing fields: %+v", tr)
+		}
+		got := map[string]bool{}
+		for _, st := range tr.Stages {
+			got[st.Stage] = true
+		}
+		for _, stage := range []string{"decode", "queue", "measure", "score", "verdict"} {
+			if !got[stage] {
+				t.Fatalf("trace %s missing stage %q: %+v", tr.ID, stage, tr.Stages)
+			}
+		}
+		if tr.TotalMs <= 0 {
+			t.Fatalf("trace %s has no total duration: %+v", tr.ID, tr)
+		}
+	}
+
+	// The JSONL sink mirrored the ring, one TraceView per line.
+	sunk := strings.Split(strings.TrimSpace(traceLog.String()), "\n")
+	if len(sunk) != len(queries) {
+		t.Fatalf("trace sink holds %d lines, want %d", len(sunk), len(queries))
+	}
+	var tv obs.TraceView
+	if err := json.Unmarshal([]byte(sunk[0]), &tv); err != nil {
+		t.Fatalf("sink line not a TraceView: %v %q", err, sunk[0])
+	}
+
+	// The observability endpoints answer: /debug/flight has recorded series,
+	// /debug/trace serves the ring, /alerts evaluates the default rules.
+	loud.Flight().Sample()
+	for path, want := range map[string]string{
+		"/debug/flight": `"series_count"`,
+		"/debug/trace":  `"traces"`,
+		"/alerts":       `"detect-drift"`,
+	} {
+		resp, err := http.Get(loudTS.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), want) {
+			t.Fatalf("GET %s = %d, missing %q:\n%s", path, resp.StatusCode, want, body)
 		}
 	}
 
@@ -186,6 +254,62 @@ func TestObsIsObserveOnly(t *testing.T) {
 		if !stages[stage] {
 			t.Fatalf("no span record for stage %q (saw %v, %d spans)", stage, stages, spans)
 		}
+	}
+}
+
+// TestRequestIDEcho: a well-formed caller-supplied X-Request-ID is adopted —
+// echoed on the response and stamped on the request's trace record — while a
+// malformed one is replaced by a server-generated id. Error paths echo too.
+func TestRequestIDEcho(t *testing.T) {
+	f := getFixture(t)
+	s, ts := newServer(t, f, Config{Workers: 1, TraceRing: 8})
+
+	send := func(id string, body []byte) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/detect", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if id != "" {
+			req.Header.Set("X-Request-ID", id)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+	raw, err := json.Marshal(NewRequest(f.clean[0].X, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := send("edge-abc.1", raw).Header.Get("X-Request-ID"); got != "edge-abc.1" {
+		t.Fatalf("valid inbound id not adopted: got %q", got)
+	}
+	if got := send("bad id!", raw).Header.Get("X-Request-ID"); !strings.HasPrefix(got, "r") || strings.Contains(got, " ") {
+		t.Fatalf("malformed inbound id not replaced: got %q", got)
+	}
+	if got := send("", raw).Header.Get("X-Request-ID"); !strings.HasPrefix(got, "r") {
+		t.Fatalf("absent inbound id not generated: got %q", got)
+	}
+	// Error paths carry the id too: a malformed body still answers with one.
+	if got := send("err-path-7", []byte("{")).Header.Get("X-Request-ID"); got != "err-path-7" {
+		t.Fatalf("error response dropped the id: got %q", got)
+	}
+
+	// The adopted id is the trace record's identity.
+	var seen bool
+	for _, tr := range s.Traces().Last(8) {
+		if tr.ID == "edge-abc.1" && tr.Status == http.StatusOK {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatalf("adopted id missing from trace ring: %+v", s.Traces().Last(8))
 	}
 }
 

@@ -49,6 +49,7 @@ func (p *MeasurePool) Score(ctx context.Context, worker int, idx uint64, x *tens
 	ctx, sp := obs.StartSpan(ctx, p.SpanMeasure)
 	meas, hit := p.Workers[worker].MeasureAtCached(p.Truth, idx, x)
 	sp.End()
+	obs.TraceFrom(ctx).SetCacheHit(hit)
 	if p.Truth != nil {
 		if hit {
 			p.Hits.Inc()

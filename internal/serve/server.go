@@ -108,6 +108,39 @@ type Config struct {
 	// byte (TestObsIsObserveOnly holds that line).
 	Logger *slog.Logger
 
+	// FlightInterval enables the flight recorder: a background sampler
+	// snapshotting every registry series into short-term ring-buffer history,
+	// exposed as /debug/flight. > 0 samples at that cadence; < 0 builds the
+	// recorder in manual mode (no goroutine — each /debug/flight or /alerts
+	// request samples on demand, the deterministic mode tests use); 0 leaves
+	// the recorder off unless AlertRules demand one. Like every obs surface
+	// it is observe-only: sampling walks the registries exactly like a
+	// /metrics scrape.
+	FlightInterval time.Duration
+	// FlightSamples caps each recorded series' ring (default 256).
+	FlightSamples int
+	// TraceRing enables request-scoped wide events: every /detect request
+	// aggregates its spans, routing and verdict into one pooled trace record,
+	// and the last TraceRing of them are queryable at /debug/trace. 0
+	// disables (unless TraceLog is set, which implies a default-sized ring).
+	TraceRing int
+	// TraceLog, when non-nil, additionally receives every finished trace as
+	// one JSON line — the durable export path.
+	TraceLog io.Writer
+	// AlertRules enables the alert engine: declarative rules (latency
+	// burn-rate, error rate, detection drift — see DefaultAlertRules)
+	// evaluated against the flight recorder, surfaced as the
+	// advhunter_alert_active gauge, transition logs, and /alerts. Setting
+	// rules without FlightInterval builds a manual-mode recorder.
+	AlertRules []obs.Rule
+	// AlertInterval is the background evaluation cadence; <= 0 evaluates on
+	// each /alerts request instead (sampling the recorder first when it is
+	// manual too).
+	AlertInterval time.Duration
+	// AlertFor is the firing hysteresis: a rule must breach continuously
+	// this long before its alert fires (0 fires immediately).
+	AlertFor time.Duration
+
 	// gate, when non-nil, blocks batch processing until it is closed — a
 	// test-only hook for filling the queue deterministically. It must be
 	// set before New (the dispatcher reads it once at startup).
@@ -155,6 +188,9 @@ func (c Config) withDefaults() Config {
 	if c.EscalationMargin == 0 {
 		c.EscalationMargin = 0.15
 	}
+	if c.TraceLog != nil && c.TraceRing <= 0 {
+		c.TraceRing = 256
+	}
 	return c
 }
 
@@ -194,6 +230,9 @@ type Server struct {
 	stats     *metrics
 	logger    *slog.Logger
 	tracer    *obs.Tracer
+	flight    *obs.Recorder    // nil unless FlightInterval or AlertRules enable it
+	traces    *obs.TraceRing   // nil unless TraceRing enables it
+	alerts    *obs.AlertEngine // nil unless AlertRules enable it
 	poolHooks parallel.Hooks
 	mux       *http.ServeMux
 	gate      chan struct{} // from Config.gate; see there
@@ -326,6 +365,27 @@ func New(m *core.Measurer, det detect.Detector, cfg Config) *Server {
 		}
 	}
 
+	// Observability extensions, all strictly observe-only. The flight
+	// recorder also powers the alert engine, so rules without an explicit
+	// interval still get a (manual-mode) recorder behind them.
+	if cfg.TraceRing > 0 {
+		s.traces = obs.NewTraceRing(cfg.TraceRing, cfg.TraceLog)
+	}
+	if cfg.FlightInterval != 0 || len(cfg.AlertRules) > 0 {
+		iv := cfg.FlightInterval
+		if iv < 0 {
+			iv = 0 // manual mode: sample on demand
+		}
+		s.flight = obs.NewRecorder(obs.RecorderConfig{
+			Interval: iv, Samples: cfg.FlightSamples,
+		}, s.stats.reg)
+	}
+	if len(cfg.AlertRules) > 0 {
+		s.alerts = obs.NewAlertEngine(s.stats.reg, s.flight, cfg.AlertRules, obs.AlertConfig{
+			Interval: cfg.AlertInterval, For: cfg.AlertFor, Logger: s.logger,
+		})
+	}
+
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/detect", s.handleDetect)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -334,6 +394,15 @@ func New(m *core.Measurer, det detect.Detector, cfg Config) *Server {
 	// (cache-op counters, build info), so one scrape sees every layer.
 	s.mux.Handle("/metrics", obs.Handler(s.stats.reg, obs.Default))
 	s.mux.Handle("/debug/build", obs.BuildInfoHandler())
+	if s.flight != nil {
+		s.mux.Handle("/debug/flight", s.flight.Handler())
+	}
+	if s.traces != nil {
+		s.mux.Handle("/debug/trace", obs.TraceHandler(s.traces))
+	}
+	if s.alerts != nil {
+		s.mux.Handle("/alerts", s.alerts.Handler())
+	}
 	go s.dispatch()
 	return s
 }
@@ -345,6 +414,18 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // multi-replica assembly uses to stamp each replica's series with its
 // identity (obs.SetConstLabels) and merge them onto one exposition page.
 func (s *Server) Registry() *obs.Registry { return s.stats.reg }
+
+// Flight returns the server's flight recorder, or nil when disabled — the
+// hook a cluster uses to fold a replica's history into a fleet view, and
+// tests use to drive manual-mode sampling.
+func (s *Server) Flight() *obs.Recorder { return s.flight }
+
+// Traces returns the server's trace ring, or nil when disabled — the hook a
+// cluster's merged /debug/trace page reads.
+func (s *Server) Traces() *obs.TraceRing { return s.traces }
+
+// Alerts returns the server's alert engine, or nil when disabled.
+func (s *Server) Alerts() *obs.AlertEngine { return s.alerts }
 
 // Shape returns the served model's input shape (C, H, W) — what a router in
 // front of the server needs to decode and fingerprint request bodies.
@@ -366,6 +447,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.adm.Close()
 	select {
 	case <-s.done:
+		// Quiesce the observability background loops after the pipeline has
+		// drained; both Stops are idempotent, so re-entrant Shutdowns are fine.
+		if s.alerts != nil {
+			s.alerts.Stop()
+		}
+		if s.flight != nil {
+			s.flight.Stop()
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -431,10 +520,23 @@ func (s *Server) process(batch []*job) {
 // handleDetect is POST /detect: decode, validate, admit, await the verdict.
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	rctx := obs.WithRequestID(obs.WithTracer(r.Context(), s.tracer),
-		"r"+strconv.FormatUint(s.rids.Add(1), 10))
+	// A well-formed caller-supplied X-Request-ID is adopted (so one id follows
+	// a request through a router hop into the replica that served it);
+	// anything else gets a server-generated id. Either way the id is echoed on
+	// the response and stamped on every log record and trace the request
+	// produces.
+	id := r.Header.Get("X-Request-ID")
+	if !obs.ValidRequestID(id) {
+		id = "r" + strconv.FormatUint(s.rids.Add(1), 10)
+	}
+	w.Header().Set("X-Request-ID", id)
+	rctx := obs.WithRequestID(obs.WithTracer(r.Context(), s.tracer), id)
+	tr := s.traces.Start(id) // nil-safe: no ring, no record
+	rctx = obs.WithTrace(rctx, tr)
 	status := func(code int) {
 		d := time.Since(start)
+		tr.SetStatus(code)
+		s.traces.Finish(tr)
 		s.stats.observeRequest(code, d)
 		s.logger.DebugContext(rctx, "request",
 			slog.String("path", "/detect"),
@@ -477,6 +579,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	if req.Index != nil {
 		idx = *req.Index
 	}
+	tr.SetIndex(idx)
 	ctx, cancel := context.WithTimeout(rctx, s.cfg.Timeout)
 	defer cancel()
 	_, qspan := obs.StartSpan(rctx, "queue")
@@ -501,6 +604,13 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		resp := s.response(idx, r)
 		s.stats.observeDecision(v.Flags, resp.Adversarial)
 		sp.End()
+		tr.SetTier(r.tier)
+		tr.SetBackend(resp.Backend)
+		if resp.Adversarial {
+			tr.SetVerdict("adversarial")
+		} else {
+			tr.SetVerdict("benign")
+		}
 		if resp.Adversarial {
 			s.logger.DebugContext(rctx, "adversarial query flagged",
 				slog.Uint64("index", idx),

@@ -75,6 +75,8 @@ type ServerStats struct {
 	InflightPeak    float64 `json:"inflight_peak"`
 	InflightMean    float64 `json:"inflight_mean"`
 	GaugeSamples    int     `json:"gauge_samples"`
+	AlertsFired     float64 `json:"alerts_fired"`  // alert transitions to firing during the run
+	AlertsActive    float64 `json:"alerts_active"` // rules still firing when the run ended
 }
 
 // Report is the distilled result of one run: client-side rates and latency
@@ -196,6 +198,10 @@ func buildReport(tr *Trace, outcomes []Outcome, before, after Snapshot, samples 
 		s.QueueDepthMean = samples.queueSum / float64(samples.n)
 		s.InflightMean = samples.inflightSum / float64(samples.n)
 	}
+	// Alert families exist only when the target runs an alert engine; on a
+	// plain server both sums are 0 and the report simply carries zeros.
+	s.AlertsFired = d.Sum("advhunter_alert_fired_total")
+	s.AlertsActive = after.Sum("advhunter_alert_active")
 	return rep
 }
 
@@ -223,4 +229,7 @@ func (r *Report) Render(w io.Writer) {
 		s.TruthHitRate, s.TruthHits, s.TruthHits+s.TruthMisses, s.EscalationRate, s.Escalations, s.Screened)
 	fmt.Fprintf(w, "  server: 429s %g  504s %g  queue depth peak %g / cap %g  inflight peak %g\n",
 		s.Rejected429, s.Timeouts504, s.QueueDepthPeak, s.QueueCapacity, s.InflightPeak)
+	if s.AlertsFired > 0 || s.AlertsActive > 0 {
+		fmt.Fprintf(w, "  server: alerts fired %g, still active %g\n", s.AlertsFired, s.AlertsActive)
+	}
 }

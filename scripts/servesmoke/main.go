@@ -55,6 +55,10 @@ func run(bin, scenario string) error {
 		"-workers", "2",
 		"-tier", "auto", // exercises the twin-table load (or profile) path too
 		"-pprof",
+		// The observability stack, in its deterministic form: a manual-mode
+		// flight recorder (sampled per query, no goroutine), a trace ring,
+		// and the stock alert rules evaluated on each /alerts request.
+		"-flight=-1s", "-trace-ring", "64", "-alerts",
 		"-log-format", "json", "-log-level", "info",
 		"-v")
 	stdout, err := cmd.StdoutPipe()
@@ -138,6 +142,9 @@ func run(bin, scenario string) error {
 	if err := loadgenSmoke(bin, scenario, base); err != nil {
 		return err
 	}
+	if err := obsSmoke(bin, base); err != nil {
+		return err
+	}
 
 	// Graceful drain: SIGTERM must produce a clean exit.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
@@ -156,6 +163,66 @@ func run(bin, scenario string) error {
 	return nil
 }
 
+// obsSmoke exercises the observability surfaces after the loadgen burst: the
+// flight recorder page (manual mode samples on each query), the request-trace
+// ring (the burst must have left traces carrying request ids), the alerts
+// page with the stock rules, and one frame of `advhunter watch` — the
+// operator dashboard driven purely over HTTP.
+func obsSmoke(bin, base string) error {
+	flight, err := get(base + "/debug/flight")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{`"series_count"`, "advhunter_requests_total"} {
+		if !strings.Contains(string(flight), want) {
+			return fmt.Errorf("/debug/flight missing %q:\n%s", want, flight)
+		}
+	}
+	traces, err := get(base + "/debug/trace?last=5")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{`"traces"`, `"id"`, `"stages"`} {
+		if !strings.Contains(string(traces), want) {
+			return fmt.Errorf("/debug/trace missing %q:\n%s", want, traces)
+		}
+	}
+	alerts, err := get(base + "/alerts")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{"latency-p99", "error-rate", "detect-drift"} {
+		if !strings.Contains(string(alerts), want) {
+			return fmt.Errorf("/alerts missing rule %q:\n%s", want, alerts)
+		}
+	}
+	// A /detect probe must echo the caller's request id so traces and logs
+	// can be joined to the edge's — the id-propagation contract over HTTP.
+	resp, err := http.Post(base+"/detect", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got == "" {
+		return fmt.Errorf("/detect response carries no X-Request-ID header")
+	}
+
+	watch := exec.Command(bin, "watch", "-target", base, "-count", "1", "-plain", "-traces", "3")
+	watch.Stderr = os.Stderr
+	out, err := watch.Output()
+	if err != nil {
+		return fmt.Errorf("watch against %s: %w", base, err)
+	}
+	for _, want := range []string{"traffic", "alerts", "detect-drift", "recent traces"} {
+		if !strings.Contains(string(out), want) {
+			return fmt.Errorf("watch frame missing %q:\n%s", want, out)
+		}
+	}
+	fmt.Println("servesmoke: obs surfaces OK (/debug/flight /debug/trace /alerts, watch frame rendered)")
+	return nil
+}
+
 // runCluster boots a 2-replica cluster as a child process, fires a loadgen
 // burst at it, and lints the merged /metrics page: every replica's serve
 // series must appear under its replica label alongside the cluster's own
@@ -171,6 +238,10 @@ func runCluster(bin, scenario string) error {
 		"-policy", "affinity", // the routing path that reads request bodies
 		"-workers", "1",
 		"-tier", "exact",
+		// Cluster-level observability: the router's flight recorder spans
+		// every replica registry, replicas keep trace rings the merged
+		// /debug/trace page reads, and the alert engine judges fleet totals.
+		"-flight=-1s", "-trace-ring", "16", "-alerts",
 		"-log-format", "json", "-log-level", "info",
 		"-v")
 	stdout, err := cmd.StdoutPipe()
@@ -238,6 +309,32 @@ func runCluster(bin, scenario string) error {
 	// counter: requests_total appears only once a replica has answered.
 	if !strings.Contains(string(metrics), `advhunter_requests_total{code="200",replica=`) {
 		return fmt.Errorf("cluster /metrics shows no replica-labelled 200s after the burst:\n%s", metrics)
+	}
+
+	// The fleet observability surfaces: flight history carrying
+	// replica-labelled series, the merged trace page, and fleet alerts.
+	flight, err := get(base + "/debug/flight")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{`"series_count"`, `replica=\"0\"`, `replica=\"1\"`} {
+		if !strings.Contains(string(flight), want) {
+			return fmt.Errorf("cluster /debug/flight missing %q:\n%s", want, flight)
+		}
+	}
+	traces, err := get(base + "/debug/trace?last=5")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(traces), `"traces"`) {
+		return fmt.Errorf("cluster /debug/trace missing traces:\n%s", traces)
+	}
+	alerts, err := get(base + "/alerts")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(alerts), "detect-drift") {
+		return fmt.Errorf("cluster /alerts missing the drift rule:\n%s", alerts)
 	}
 
 	// Graceful drain: SIGTERM must produce a clean exit.
