@@ -1,0 +1,157 @@
+package core
+
+import (
+	"time"
+
+	"advhunter/internal/tensor"
+	"advhunter/internal/uarch/hpc"
+)
+
+// batchScratch holds the reusable buffers of MeasureBatchCached so a
+// steady-state batched measurement allocates nothing. Like the measurer's
+// other scratch state it is single-goroutine; Clone gives replicas fresh
+// (lazily grown) buffers.
+type batchScratch struct {
+	fps    []uint64
+	src    []int // per sample: -1 = cache hit (truth in tr), else miss slot
+	tr     []Truth
+	mtr    []Truth
+	mxs    []*tensor.Tensor
+	midx   []int
+	preds  []int
+	confs  []float64
+	counts []hpc.Counts
+}
+
+func (b *batchScratch) grow(n int) {
+	if cap(b.fps) < n {
+		b.fps = make([]uint64, n)
+		b.src = make([]int, n)
+		b.tr = make([]Truth, n)
+		b.mtr = make([]Truth, n)
+		b.mxs = make([]*tensor.Tensor, n)
+		b.midx = make([]int, n)
+		b.preds = make([]int, n)
+		b.confs = make([]float64, n)
+		b.counts = make([]hpc.Counts, n)
+	}
+	b.fps = b.fps[:n]
+	b.src = b.src[:n]
+	b.tr = b.tr[:n]
+	b.mtr = b.mtr[:n]
+	b.mxs = b.mxs[:n]
+	b.midx = b.midx[:n]
+	b.preds = b.preds[:n]
+	b.confs = b.confs[:n]
+	b.counts = b.counts[:n]
+}
+
+// MeasureBatchCached measures a micro-batch in one fused pass: cache misses
+// are gathered (deduplicated by fingerprint, so a repeated input in one batch
+// pays the inference once), run through the engine's batched forward path,
+// inserted into the cache, and every sample's noisy reading is then drawn
+// from its own index stream exactly as MeasureAtCached draws it. out[i] is
+// bit-identical to MeasureAtCached(cache, idxs[i], xs[i]) processed in order
+// — the truth is a pure function of the input and the noise is keyed by
+// idxs[i] alone. hits, when non-nil, records per sample whether the truth
+// was served from the cache (an in-batch duplicate counts as a hit, exactly
+// as sequential in-order processing would report it). The Observe hook fires
+// once per sample with an equal share of the batch's wall-clock duration, so
+// duration sums stay comparable with the per-sample path. Like MeasureAt,
+// the method is single-goroutine; concurrent serving uses replicas.
+func (m *Measurer) MeasureBatchCached(cache *TruthCache, idxs []uint64, xs []*tensor.Tensor, out []Measurement, hits []bool) {
+	n := len(xs)
+	if len(idxs) < n || len(out) < n || (hits != nil && len(hits) < n) {
+		panic("core: MeasureBatchCached slices shorter than batch")
+	}
+	if n == 0 {
+		return
+	}
+	var start time.Time
+	if m.Observe != nil {
+		start = time.Now()
+	}
+	b := &m.batch
+	b.grow(n)
+
+	nm := 0 // unique cache misses
+	if cache == nil {
+		for i, x := range xs {
+			b.src[i] = i
+			b.mxs[i] = x
+			b.midx[i] = i
+			if hits != nil {
+				hits[i] = false
+			}
+		}
+		nm = n
+	} else {
+		for i, x := range xs {
+			fp := Fingerprint(x)
+			b.fps[i] = fp
+			if t, ok := cache.Get(fp); ok {
+				b.tr[i] = t
+				b.src[i] = -1
+				if hits != nil {
+					hits[i] = true
+				}
+				continue
+			}
+			dup := -1
+			for j := 0; j < nm; j++ {
+				if b.fps[b.midx[j]] == fp {
+					dup = j
+					break
+				}
+			}
+			if dup >= 0 {
+				// Sequential processing would have found this fingerprint in
+				// the cache by now, so it reports as a hit.
+				b.src[i] = dup
+				if hits != nil {
+					hits[i] = true
+				}
+				continue
+			}
+			b.src[i] = nm
+			b.midx[nm] = i
+			b.mxs[nm] = x
+			if hits != nil {
+				hits[i] = false
+			}
+			nm++
+		}
+	}
+
+	if nm > 0 {
+		m.Engine.InferConfBatch(b.mxs[:nm], b.preds, b.confs, b.counts)
+		for j := 0; j < nm; j++ {
+			t := Truth{Pred: b.preds[j], Conf: b.confs[j], Counts: b.counts[j]}
+			b.mtr[j] = t
+			if cache != nil {
+				cache.Put(b.fps[b.midx[j]], t)
+			}
+			b.mxs[j] = nil // don't pin request tensors across batches
+		}
+	}
+
+	var share time.Duration
+	if m.Observe != nil {
+		share = time.Since(start) / time.Duration(n)
+	}
+	for i := range xs {
+		t := b.tr[i]
+		if b.src[i] >= 0 {
+			t = b.mtr[b.src[i]]
+		}
+		out[i] = Measurement{
+			Pred:      t.Pred,
+			TrueLabel: -1,
+			Counts:    m.noiseAt(idxs[i]).MeasureMean(t.Counts, m.R),
+			Conf:      t.Conf,
+		}
+		if m.Observe != nil {
+			m.Observe(share, out[i])
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package detect
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"advhunter/internal/core"
+	"advhunter/internal/rng"
+)
+
+// batchSizes are the micro-batch widths the identity tests sweep: the width-1
+// degenerate case, odd widths, and widths past the serving default.
+var batchSizes = []int{1, 3, 8, 17}
+
+// batchQueries builds a query mix that exercises every branch of the batched
+// scorers: modelled classes at benign and anomalous levels, in-batch repeats
+// of the same level, and out-of-range / negative predictions.
+func batchQueries(classes, n int, seed uint64) []core.Measurement {
+	r := rng.New(seed)
+	qs := make([]core.Measurement, 0, n)
+	for i := 0; i < n; i++ {
+		c := i % classes
+		switch {
+		case i%7 == 5:
+			q := synthMeasurement(r, c, 1000+200*float64(c))
+			q.Pred = classes + 3 // out of range: unmodelled everywhere
+			qs = append(qs, q)
+		case i%7 == 6:
+			q := synthMeasurement(r, c, 1000+200*float64(c))
+			q.Pred = -1
+			qs = append(qs, q)
+		case i%3 == 0:
+			qs = append(qs, synthMeasurement(r, c, 5000)) // anomalous level
+		default:
+			qs = append(qs, synthMeasurement(r, c, 1000+200*float64(c)))
+		}
+	}
+	return qs
+}
+
+// requireVerdictIdentity compares a batched verdict against the per-sample
+// one field by field, bitwise on the scores.
+func requireVerdictIdentity(t *testing.T, kind string, i int, got, want Verdict) {
+	t.Helper()
+	if got.PredictedClass != want.PredictedClass || got.Modelled != want.Modelled || got.Fused != want.Fused {
+		t.Fatalf("%s: query %d: batched verdict %+v, per-sample %+v", kind, i, got, want)
+	}
+	if len(got.Scores) != len(want.Scores) {
+		t.Fatalf("%s: query %d: %d scores, want %d", kind, i, len(got.Scores), len(want.Scores))
+	}
+	for si := range want.Scores {
+		if math.Float64bits(got.Scores[si]) != math.Float64bits(want.Scores[si]) {
+			t.Fatalf("%s: query %d channel %d: batched score %v (bits %x), per-sample %v (bits %x)",
+				kind, i, si, got.Scores[si], math.Float64bits(got.Scores[si]),
+				want.Scores[si], math.Float64bits(want.Scores[si]))
+		}
+		if got.Flags[si] != want.Flags[si] {
+			t.Fatalf("%s: query %d channel %d: batched flag %v, per-sample %v", kind, i, si, got.Flags[si], want.Flags[si])
+		}
+	}
+}
+
+// TestBatchIdentityScoreBatch pins the Scorer contract: for every registered
+// backend, ScoreBatch fills exactly what Score returns, bit for bit, across
+// batch widths and the full query mix (modelled, anomalous, unmodelled,
+// out-of-range predictions).
+func TestBatchIdentityScoreBatch(t *testing.T) {
+	const classes = 3
+	tpl := synthTemplate(classes, 60, 21)
+	for _, kind := range Kinds() {
+		d := mustFit(t, kind, tpl, DefaultConfig())
+		for _, n := range batchSizes {
+			qs := batchQueries(classes, n, uint64(100*n+len(kind)))
+			for _, s := range d.scorers {
+				out := make([]float64, n)
+				oks := make([]bool, n)
+				s.ScoreBatch(qs, out, oks)
+				for i, q := range qs {
+					want, wok := s.Score(q)
+					if oks[i] != wok || math.Float64bits(out[i]) != math.Float64bits(want) {
+						t.Fatalf("%s/%s: n=%d query %d: ScoreBatch (%v, %v), Score (%v, %v)",
+							kind, s.Channel(), n, i, out[i], oks[i], want, wok)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchIdentityDetectBatch pins the Detector contract: DetectBatch fills
+// verdicts identical to Detect across every backend and batch width, and the
+// batched verdicts carry independently mutable Scores/Flags state.
+func TestBatchIdentityDetectBatch(t *testing.T) {
+	const classes = 3
+	tpl := synthTemplate(classes, 60, 33)
+	for _, kind := range Kinds() {
+		d := mustFit(t, kind, tpl, DefaultConfig())
+		for _, n := range batchSizes {
+			qs := batchQueries(classes, n, uint64(200*n+len(kind)))
+			vs := make([]Verdict, n)
+			d.DetectBatch(qs, vs)
+			for i, q := range qs {
+				requireVerdictIdentity(t, kind, i, vs[i], d.Detect(q))
+			}
+			// Verdicts are response state: mutating one must not alias another.
+			if n >= 2 && len(vs[0].Scores) > 0 {
+				before := vs[1].Scores[0]
+				vs[0].Scores[0] = math.Inf(1)
+				if vs[1].Scores[0] != before {
+					t.Fatalf("%s: verdict scores alias across batch entries", kind)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchIdentityDetectPersisted covers the load path: a detector that went
+// through Save → TryLoad rebuilds its hoisted batch constants in validate, so
+// its ScoreBatch must stay bit-identical to the freshly fitted one.
+func TestBatchIdentityDetectPersisted(t *testing.T) {
+	const classes = 3
+	tpl := synthTemplate(classes, 60, 47)
+	for _, kind := range []string{"gmm", "gauss", "fusion"} {
+		d := mustFit(t, kind, tpl, DefaultConfig())
+		path := filepath.Join(t.TempDir(), kind+".gob")
+		if err := Save(path, d); err != nil {
+			t.Fatalf("Save(%q): %v", kind, err)
+		}
+		loaded, ok := TryLoad(path)
+		if !ok {
+			t.Fatalf("TryLoad(%q) missed a fresh artifact", kind)
+		}
+		qs := batchQueries(classes, 17, 61)
+		vs := make([]Verdict, len(qs))
+		loaded.DetectBatch(qs, vs)
+		for i, q := range qs {
+			requireVerdictIdentity(t, kind+"/persisted", i, vs[i], d.Detect(q))
+		}
+	}
+}
+
+// TestBatchDetectorInterface: Fitted satisfies BatchDetector, which is what
+// the serve layer type-asserts for before fusing a batch.
+func TestBatchDetectorInterface(t *testing.T) {
+	tpl := synthTemplate(2, 30, 9)
+	var det Detector = mustFit(t, "gauss", tpl, DefaultConfig())
+	bd, ok := det.(BatchDetector)
+	if !ok {
+		t.Fatal("*Fitted must implement BatchDetector")
+	}
+	if !reflect.DeepEqual(bd.Channels(), det.Channels()) {
+		t.Fatal("BatchDetector view must expose the same channels")
+	}
+}

@@ -1,0 +1,297 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"advhunter/internal/nn"
+	"advhunter/internal/tensor"
+	"advhunter/internal/uarch/hpc"
+)
+
+// Batched inference runs in two phases.
+//
+// Phase A (batchForward) walks the network once with the whole micro-batch
+// as the leading dimension, so every convolution becomes one fused GEMM and
+// every element-wise layer one pass over B samples. At each point where the
+// per-sample trace would materialize an activation — a leaf forward, a
+// channel concatenation, a residual sum — the batch tensor is recorded in
+// walk order. Every layer's arithmetic is per-sample independent (and the
+// fused conv GEMM is pinned bit-identical to the per-sample GEMM), so row b
+// of each recording holds exactly the floats a standalone pass over sample b
+// would produce.
+//
+// Phase B replays traceLayer once per sample with bN > 0: forward, concat
+// and the residual sum return the current sample's view of the next
+// recording instead of recomputing, while the machine, the address arena and
+// the ref pools are reset per sample exactly as Infer does. The μarch replay
+// therefore consumes per-sample tensors identical to a standalone trace and
+// produces byte-identical HPC counts — batching accelerates the arithmetic,
+// never the measurement.
+
+// brec is one recorded phase-A materialization: the batch tensor's storage
+// (captured as a slice header, so later arena churn cannot re-aim it) and
+// its batch-leading shape.
+type brec struct {
+	data  []float64
+	shape []int
+}
+
+// recordB appends t to the replay tape, reusing tape slots across batches.
+func (e *Engine) recordB(t *tensor.Tensor) *tensor.Tensor {
+	if len(e.breps) < cap(e.breps) {
+		e.breps = e.breps[:len(e.breps)+1]
+	} else {
+		e.breps = append(e.breps, brec{})
+	}
+	r := &e.breps[len(e.breps)-1]
+	r.data = t.Data()
+	r.shape = append(r.shape[:0], t.Shape()...)
+	return t
+}
+
+// replayNext returns sample bsample's view of the next recorded tensor:
+// shape [1, rest...] over the sample's contiguous row of the batch storage.
+func (e *Engine) replayNext() *tensor.Tensor {
+	r := &e.breps[e.bcur]
+	e.bcur++
+	stride := len(r.data) / e.bN
+	e.bshape = append(e.bshape[:0], 1)
+	e.bshape = append(e.bshape, r.shape[1:]...)
+	if e.bvi == len(e.bviews) {
+		e.bviews = append(e.bviews, &tensor.Tensor{})
+	}
+	v := e.bviews[e.bvi]
+	e.bvi++
+	return v.Alias(r.data[e.bsample*stride:(e.bsample+1)*stride], e.bshape...)
+}
+
+// packBatch copies the samples into one batch-leading scratch tensor.
+func (e *Engine) packBatch(xs []*tensor.Tensor) *tensor.Tensor {
+	meta := e.Model.Meta
+	sample := meta.InC * meta.InH * meta.InW
+	batch := e.sc.Tensor(len(xs), meta.InC, meta.InH, meta.InW)
+	bd := batch.Data()
+	for i, x := range xs {
+		xd := x.Data()
+		if len(xd) != sample {
+			panic(fmt.Sprintf("engine: batch input %d has %d elements, model expects %d", i, len(xd), sample))
+		}
+		copy(bd[i*sample:(i+1)*sample], xd)
+	}
+	return batch
+}
+
+// batchForward is phase A: one batch-fused machine-free walk, recording the
+// tensor at every materialization point the per-sample trace will consume.
+func (e *Engine) batchForward(xs []*tensor.Tensor) {
+	e.sc.Reset()
+	e.touts.reset()
+	e.breps = e.breps[:0]
+	batch := e.packBatch(xs)
+	e.recordB(batch) // the input is the first tape entry
+	e.batchLayer(e.Model.Net, batch)
+}
+
+// batchLayer mirrors traceLayer's dispatch structure (so tape order matches
+// phase-B consumption order exactly) without any machine interaction.
+func (e *Engine) batchLayer(l nn.Layer, x *tensor.Tensor) *tensor.Tensor {
+	switch l := l.(type) {
+	case *nn.Sequential:
+		for _, sub := range l.Layers {
+			x = e.batchLayer(sub, x)
+		}
+		return x
+	case *nn.Dropout:
+		return x
+	case *nn.Residual:
+		body := e.batchLayer(l.Body, x)
+		short := x
+		if l.Shortcut != nil {
+			short = e.batchLayer(l.Shortcut, x)
+		}
+		sum := e.sc.Tensor(body.Shape()...)
+		copy(sum.Data(), body.Data())
+		sum.AddInPlace(short)
+		return e.recordB(sum)
+	case *nn.Parallel:
+		outs := e.touts.get(len(l.Branches))
+		for i, b := range l.Branches {
+			outs[i] = e.batchLayer(b, x)
+		}
+		return e.recordB(e.concat(outs))
+	case *nn.DenseBlock:
+		cur := x
+		for _, u := range l.Units {
+			y := e.batchLayer(u, cur)
+			e.pair[0], e.pair[1] = cur, y
+			cur = e.recordB(e.concat(e.pair[:]))
+		}
+		return cur
+	default:
+		// Every leaf (including Flatten) is one recorded forward.
+		return e.recordB(e.forward(l, x))
+	}
+}
+
+// softmaxConf returns the softmax probability of the argmax over logits,
+// with the exact expression InferConf evaluates.
+func softmaxConf(logits []float64) float64 {
+	lmax := logits[0]
+	for _, v := range logits[1:] {
+		if v > lmax {
+			lmax = v
+		}
+	}
+	sum := 0.0
+	for _, v := range logits {
+		sum += math.Exp(v - lmax)
+	}
+	return 1 / sum
+}
+
+// InferConfBatch classifies a micro-batch: the forward arithmetic runs once,
+// batch-fused through the blocked kernels, while the machine replay stays
+// strictly per-sample from each sample's own activations. preds, counts and
+// (when non-nil) confs receive sample i's results at index i and every value
+// is byte-identical to a standalone InferConf(xs[i]) — pinned by the
+// BatchIdentity suite. Scalar-replay engines, profiling runs and singleton
+// batches fall back to the per-sample path. Steady-state batched inference
+// allocates nothing.
+func (e *Engine) InferConfBatch(xs []*tensor.Tensor, preds []int, confs []float64, counts []hpc.Counts) {
+	if len(preds) < len(xs) || len(counts) < len(xs) || (confs != nil && len(confs) < len(xs)) {
+		panic("engine: InferConfBatch result slices shorter than batch")
+	}
+	if e.sc == nil || e.prof != nil || len(xs) <= 1 {
+		for i, x := range xs {
+			p, c, ct := e.InferConf(x)
+			preds[i] = p
+			if confs != nil {
+				confs[i] = c
+			}
+			counts[i] = ct
+		}
+		return
+	}
+	e.batchForward(xs)
+	e.bN = len(xs)
+	for b := range xs {
+		e.bsample, e.bcur, e.bvi = b, 0, 0
+		e.M.Reset()
+		e.ar.reset()
+		e.lzs.reset()
+		e.rzs.reset()
+		e.refs.reset()
+		e.touts.reset()
+		inView := e.replayNext()
+		in := e.makeRef(inView, inputBase, quantTol(inView, e.qlevels))
+		out := e.traceLayer(e.Model.Net, in)
+		preds[b] = out.t.Argmax()
+		if confs != nil {
+			confs[b] = softmaxConf(out.t.Data())
+		}
+		counts[b] = e.M.Counts()
+	}
+	e.bN = 0
+}
+
+// InferBatch is InferConfBatch without the confidences — the batched form of
+// Infer.
+func (e *Engine) InferBatch(xs []*tensor.Tensor, preds []int, counts []hpc.Counts) {
+	e.InferConfBatch(xs, preds, nil, counts)
+}
+
+// ForwardStatsBatch is ForwardStats over a micro-batch: one batch-fused
+// machine-free walk fills sp[i] with sample i's per-leaf input zero-line
+// fractions and preds[i]/confs[i] with its prediction and softmax
+// confidence. Per-sample tolerances and sparsities are computed over each
+// sample's row of the batch activations, whose values are bit-identical to a
+// standalone pass, so every output matches ForwardStats(xs[i], sp[i])
+// exactly. Each sp[i] must have length NumLeaves().
+func (e *Engine) ForwardStatsBatch(xs []*tensor.Tensor, sp [][]float64, preds []int, confs []float64) {
+	if len(sp) < len(xs) || len(preds) < len(xs) || len(confs) < len(xs) {
+		panic("engine: ForwardStatsBatch result slices shorter than batch")
+	}
+	if e.sc == nil || len(xs) <= 1 {
+		for i, x := range xs {
+			preds[i], confs[i] = e.ForwardStats(x, sp[i])
+		}
+		return
+	}
+	e.sc.Reset()
+	e.touts.reset()
+	batch := e.packBatch(xs)
+	e.bstatSp, e.bstatN, e.statIdx = sp, len(xs), 0
+	out := e.bstatsLayer(e.Model.Net, batch)
+	for i := range xs {
+		if e.statIdx != len(sp[i]) {
+			panic(fmt.Sprintf("engine: ForwardStatsBatch visited %d leaves, sp[%d] has %d entries (want NumLeaves)",
+				e.statIdx, i, len(sp[i])))
+		}
+	}
+	e.bstatSp, e.bstatN = nil, 0
+
+	classes := out.Len() / len(xs)
+	od := out.Data()
+	for b := range xs {
+		logits := od[b*classes : (b+1)*classes]
+		best, bestV := 0, math.Inf(-1)
+		for i, v := range logits {
+			if v > bestV {
+				best, bestV = i, v
+			}
+		}
+		preds[b] = best
+		confs[b] = softmaxConf(logits)
+	}
+}
+
+// bstatsLayer is statsLayer with per-sample leaf recording: the walk is
+// batch-fused, but each leaf's sparsity (and its quantization tolerance) is
+// evaluated over each sample's own row of the input activations.
+func (e *Engine) bstatsLayer(l nn.Layer, x *tensor.Tensor) *tensor.Tensor {
+	switch l := l.(type) {
+	case *nn.Sequential:
+		for _, sub := range l.Layers {
+			x = e.bstatsLayer(sub, x)
+		}
+		return x
+	case *nn.Flatten:
+		return e.forward(l, x)
+	case *nn.Dropout:
+		return x
+	case *nn.Residual:
+		body := e.bstatsLayer(l.Body, x)
+		short := x
+		if l.Shortcut != nil {
+			short = e.bstatsLayer(l.Shortcut, x)
+		}
+		sum := e.sc.Tensor(body.Shape()...)
+		copy(sum.Data(), body.Data())
+		sum.AddInPlace(short)
+		return sum
+	case *nn.Parallel:
+		outs := e.touts.get(len(l.Branches))
+		for i, b := range l.Branches {
+			outs[i] = e.bstatsLayer(b, x)
+		}
+		return e.concat(outs)
+	case *nn.DenseBlock:
+		cur := x
+		for _, u := range l.Units {
+			y := e.bstatsLayer(u, cur)
+			e.pair[0], e.pair[1] = cur, y
+			cur = e.concat(e.pair[:])
+		}
+		return cur
+	default:
+		d := x.Data()
+		stride := len(d) / e.bstatN
+		for b := 0; b < e.bstatN; b++ {
+			seg := d[b*stride : (b+1)*stride]
+			e.bstatSp[b][e.statIdx] = lineSparsityData(seg, quantTolData(seg, e.qlevels))
+		}
+		e.statIdx++
+		return e.forward(l, x)
+	}
+}

@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"advhunter/internal/models"
+	"advhunter/internal/rng"
+	"advhunter/internal/tensor"
+	"advhunter/internal/uarch/hpc"
+)
+
+func makeCounts(n int) []hpc.Counts { return make([]hpc.Counts, n) }
+
+// batchIdentityArchs spans every structural feature the batch walk must
+// mirror: plain sequential (simplecnn), residual + squeeze-excite
+// (efficientnet, scenario S1), residual with projection shortcuts (resnet18,
+// scenario S2), dense concatenation growth (densenet) and parallel inception
+// branches (googlenet).
+var batchIdentityArchs = []struct {
+	arch    string
+	c, h, w int
+}{
+	{"simplecnn", 1, 28, 28},
+	{"efficientnet", 1, 28, 28},
+	{"resnet18", 3, 32, 32},
+	{"densenet", 3, 32, 32},
+	{"googlenet", 3, 32, 32},
+}
+
+func batchInputs(arch string, c, h, w, n int) []*tensor.Tensor {
+	r := rng.New(uint64(1000*n) + uint64(len(arch)))
+	xs := make([]*tensor.Tensor, n)
+	for i := range xs {
+		xs[i] = tensor.New(c, h, w)
+		r.FillNormal(xs[i].Data(), 0, 1)
+	}
+	return xs
+}
+
+// TestBatchIdentityInfer pins the tentpole contract: InferConfBatch over a
+// micro-batch returns, for every sample, bit-identical predictions,
+// confidences and HPC counts to a standalone InferConf on a fresh engine.
+func TestBatchIdentityInfer(t *testing.T) {
+	for _, tc := range batchIdentityArchs {
+		tc := tc
+		t.Run(tc.arch, func(t *testing.T) {
+			t.Parallel()
+			m := models.MustBuild(tc.arch, tc.c, tc.h, tc.w, 10, 7)
+			for _, n := range []int{1, 3, 8, 17} {
+				xs := batchInputs(tc.arch, tc.c, tc.h, tc.w, n)
+				be := NewDefault(m)
+				preds := make([]int, n)
+				confs := make([]float64, n)
+				ctB := makeCounts(n)
+				be.InferConfBatch(xs, preds, confs, ctB)
+				for i, x := range xs {
+					se := NewDefault(m)
+					wp, wc, wct := se.InferConf(x)
+					if preds[i] != wp {
+						t.Fatalf("batch %d sample %d: pred %d, want %d", n, i, preds[i], wp)
+					}
+					if math.Float64bits(confs[i]) != math.Float64bits(wc) {
+						t.Fatalf("batch %d sample %d: conf %v, want %v", n, i, confs[i], wc)
+					}
+					if ctB[i] != wct {
+						t.Fatalf("batch %d sample %d: counts\n got %+v\nwant %+v", n, i, ctB[i], wct)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchIdentityInferReuse runs several batches of varying width through
+// ONE engine, interleaved with per-sample calls, to pin that the replay tape
+// and view pools reset correctly between modes.
+func TestBatchIdentityInferReuse(t *testing.T) {
+	m := models.MustBuild("resnet18", 3, 32, 32, 10, 7)
+	e := NewDefault(m)
+	for _, n := range []int{3, 1, 8, 3} {
+		xs := batchInputs("resnet18", 3, 32, 32, n)
+		preds := make([]int, n)
+		counts := makeCounts(n)
+		e.InferBatch(xs, preds, counts)
+		for i, x := range xs {
+			se := NewDefault(m)
+			wp, wct := se.Infer(x)
+			if preds[i] != wp || counts[i] != wct {
+				t.Fatalf("width %d sample %d: (%d,%+v) want (%d,%+v)", n, i, preds[i], counts[i], wp, wct)
+			}
+			// The shared engine must also still produce identical results on
+			// the per-sample path between batched calls.
+			sp, sct := e.Infer(x)
+			if sp != wp || sct != wct {
+				t.Fatalf("width %d sample %d: interleaved per-sample Infer diverged", n, i)
+			}
+		}
+	}
+}
+
+// TestBatchIdentityForwardStats pins the twin-tier front half: the batched
+// stats walk must reproduce per-sample sparsities, predictions and
+// confidences bit-for-bit.
+func TestBatchIdentityForwardStats(t *testing.T) {
+	for _, tc := range batchIdentityArchs {
+		tc := tc
+		t.Run(tc.arch, func(t *testing.T) {
+			t.Parallel()
+			m := models.MustBuild(tc.arch, tc.c, tc.h, tc.w, 10, 7)
+			e := NewDefault(m)
+			leaves := e.NumLeaves()
+			for _, n := range []int{1, 3, 8, 17} {
+				xs := batchInputs(tc.arch, tc.c, tc.h, tc.w, n)
+				sp := make([][]float64, n)
+				for i := range sp {
+					sp[i] = make([]float64, leaves)
+				}
+				preds := make([]int, n)
+				confs := make([]float64, n)
+				e.ForwardStatsBatch(xs, sp, preds, confs)
+				want := make([]float64, leaves)
+				se := NewDefault(m)
+				for i, x := range xs {
+					wp, wc := se.ForwardStats(x, want)
+					if preds[i] != wp {
+						t.Fatalf("batch %d sample %d: pred %d, want %d", n, i, preds[i], wp)
+					}
+					if math.Float64bits(confs[i]) != math.Float64bits(wc) {
+						t.Fatalf("batch %d sample %d: conf %v, want %v", n, i, confs[i], wc)
+					}
+					for li := range want {
+						if math.Float64bits(sp[i][li]) != math.Float64bits(want[li]) {
+							t.Fatalf("batch %d sample %d leaf %d: sparsity %v, want %v",
+								n, i, li, sp[i][li], want[li])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInferBatchSteadyStateZeroAlloc gates the batched fast path the same way
+// the per-sample path is gated: after one warm-up batch, batched inference
+// performs no allocations.
+func TestInferBatchSteadyStateZeroAlloc(t *testing.T) {
+	m := models.MustBuild("simplecnn", 1, 16, 16, 10, 7)
+	e := NewDefault(m)
+	const n = 4
+	xs := batchInputs("simplecnn", 1, 16, 16, n)
+	preds := make([]int, n)
+	counts := makeCounts(n)
+	e.InferBatch(xs, preds, counts) // warm pools and replay tape
+	allocs := testing.AllocsPerRun(20, func() {
+		e.InferBatch(xs, preds, counts)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state InferBatch allocates %v per run, want 0", allocs)
+	}
+}

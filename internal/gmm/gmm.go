@@ -26,6 +26,18 @@ func (m *Model) K() int { return len(m.Weights) }
 
 const log2Pi = 1.8378770664093453 // ln(2π)
 
+// Log2Pi exposes ln(2π) for callers that evaluate mixture terms with hoisted
+// per-component constants (vectorized detector scoring): a term computed as
+// lnπ_k + (−0.5·((Log2Pi + lnσ²_k) + d²/σ²_k)) reproduces LogLikelihood's
+// per-term expression bit for bit, because Go's left-associative addition
+// makes (log2Pi + ln σ²) + d²/σ² the grouping both forms evaluate.
+const Log2Pi = log2Pi
+
+// LogSumExp computes ln Σ exp(v_i) stably — the exported form of the reducer
+// LogLikelihood uses, so batched scorers can finish hoisted term vectors with
+// bit-identical results.
+func LogSumExp(v []float64) float64 { return logSumExp(v) }
+
 // logGauss returns ln N(x | mean, variance).
 func logGauss(x, mean, variance float64) float64 {
 	d := x - mean

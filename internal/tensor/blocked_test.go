@@ -1,0 +1,195 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"advhunter/internal/rng"
+)
+
+// naiveMatMulInto is the historical ikj kernel, kept verbatim as the
+// reference the blocked kernel must reproduce bit-for-bit.
+func naiveMatMulInto(dst, a, b *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	for i := range dst.data {
+		dst.data[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := dst.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return dst
+}
+
+func sameBits(t *testing.T, label string, want, got *Tensor) {
+	t.Helper()
+	if !want.SameShape(got) {
+		t.Fatalf("%s: shape %v vs %v", label, want.Shape(), got.Shape())
+	}
+	wd, gd := want.Data(), got.Data()
+	for i := range wd {
+		if math.Float64bits(wd[i]) != math.Float64bits(gd[i]) {
+			t.Fatalf("%s: element %d differs: %x vs %x (%g vs %g)",
+				label, i, math.Float64bits(wd[i]), math.Float64bits(gd[i]), wd[i], gd[i])
+		}
+	}
+}
+
+// fillMixed fills d with normal deviates, then zeroes a fraction so the
+// zero-skip path (and its interaction with pairing) is exercised.
+func fillMixed(r *rng.Rand, d []float64, zeroFrac float64) {
+	r.FillNormal(d, 0, 1)
+	for i := range d {
+		if r.Float64() < zeroFrac {
+			d[i] = 0
+		}
+	}
+}
+
+// The blocked kernel (plain, packed, undersized-pack, parallel at several
+// worker counts, and the allocating MatMul front end) must be bit-identical
+// to the naive ikj loop across shapes that straddle every tile boundary.
+func TestMatMulBlockedBitIdentical(t *testing.T) {
+	shapes := [][3]int{
+		{1, 1, 1},
+		{3, 5, 7},
+		{17, 33, 9},
+		{64, 64, 64},
+		{65, 257, 130},
+		{2, 300, 513},
+		{128, 259, 320},
+		{5, 1, 600},
+	}
+	r := rng.New(7)
+	pack := make([]float64, MatMulPackLen())
+	small := make([]float64, 16) // undersized: staging must disable itself
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		a, b := New(m, k), New(k, n)
+		fillMixed(r, a.Data(), 0.3)
+		fillMixed(r, b.Data(), 0.1)
+		want := naiveMatMulInto(New(m, n), a, b)
+
+		sameBits(t, "MatMulInto", want, MatMulInto(New(m, n), a, b))
+		sameBits(t, "MatMul", want, MatMul(a, b))
+		sameBits(t, "MatMulPackedInto", want, MatMulPackedInto(New(m, n), a, b, pack))
+		sameBits(t, "MatMulPackedInto/undersized", want, MatMulPackedInto(New(m, n), a, b, small))
+		sameBits(t, "MatMulPackedInto/nil", want, MatMulPackedInto(New(m, n), a, b, nil))
+		for _, w := range []int{1, 2, 3, 8} {
+			sameBits(t, "MatMulParallelInto", want, MatMulParallelInto(New(m, n), a, b, w))
+		}
+	}
+}
+
+// An all-zero A row must leave dst zero even against non-finite B entries:
+// the skip is semantic (0·Inf = NaN would otherwise leak in), so the blocked
+// kernel has to preserve it exactly.
+func TestMatMulBlockedZeroSkipSemantics(t *testing.T) {
+	a := New(2, 3)
+	b := New(3, 4)
+	b.Data()[0] = math.Inf(1)
+	b.Data()[5] = math.NaN()
+	a.Data()[3] = 1 // second row: [1 0 0]
+	want := naiveMatMulInto(New(2, 4), a, b)
+	sameBits(t, "zero-skip", want, MatMulInto(New(2, 4), a, b))
+	sameBits(t, "zero-skip/packed", want, MatMulPackedInto(New(2, 4), a, b, make([]float64, MatMulPackLen())))
+}
+
+// Im2ColBatchInto must lay sample s's columns at column offset s*OutH*OutW,
+// each bit-identical to the per-sample Im2ColInto, so the batched weight GEMM
+// equals the per-sample GEMMs column range by column range.
+func TestIm2ColBatchMatchesPerSample(t *testing.T) {
+	r := rng.New(11)
+	for _, batch := range []int{1, 3, 8} {
+		g := ConvGeom{InC: 3, InH: 9, InW: 7, Kernel: 3, Stride: 2, Pad: 1}
+		sample := g.InC * g.InH * g.InW
+		x := New(batch, g.InC, g.InH, g.InW)
+		fillMixed(r, x.Data(), 0.2)
+		oh, ow := g.OutH(), g.OutW()
+		plane := oh * ow
+		ckk := g.InC * g.Kernel * g.Kernel
+		cols := Im2ColBatchInto(New(ckk, batch*plane), x, g)
+
+		wm := New(5, ckk)
+		fillMixed(r, wm.Data(), 0.3)
+		y := MatMulInto(New(5, batch*plane), wm, cols)
+
+		for s := 0; s < batch; s++ {
+			xi := FromSlice(x.Data()[s*sample:(s+1)*sample], g.InC, g.InH, g.InW)
+			ci := Im2ColInto(New(ckk, plane), xi, g)
+			for row := 0; row < ckk; row++ {
+				for j := 0; j < plane; j++ {
+					got := cols.At(row, s*plane+j)
+					want := ci.At(row, j)
+					if math.Float64bits(got) != math.Float64bits(want) {
+						t.Fatalf("batch %d sample %d col (%d,%d): %g vs %g", batch, s, row, j, got, want)
+					}
+				}
+			}
+			yi := MatMulInto(New(5, plane), wm, ci)
+			for oc := 0; oc < 5; oc++ {
+				for j := 0; j < plane; j++ {
+					got := y.At(oc, s*plane+j)
+					want := yi.At(oc, j)
+					if math.Float64bits(got) != math.Float64bits(want) {
+						t.Fatalf("batch %d sample %d gemm (%d,%d): %g vs %g", batch, s, oc, j, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func benchMatMulInto(b *testing.B, size int) {
+	r := rng.New(1)
+	x, y := New(size, size), New(size, size)
+	r.FillNormal(x.Data(), 0, 1)
+	r.FillNormal(y.Data(), 0, 1)
+	dst := New(size, size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, x, y)
+	}
+}
+
+func BenchmarkMatMulBlocked64(b *testing.B)  { benchMatMulInto(b, 64) }
+func BenchmarkMatMulBlocked128(b *testing.B) { benchMatMulInto(b, 128) }
+func BenchmarkMatMulBlocked256(b *testing.B) { benchMatMulInto(b, 256) }
+
+func BenchmarkMatMulPacked256(b *testing.B) {
+	r := rng.New(1)
+	x, y := New(256, 256), New(256, 256)
+	r.FillNormal(x.Data(), 0, 1)
+	r.FillNormal(y.Data(), 0, 1)
+	dst := New(256, 256)
+	pack := make([]float64, MatMulPackLen())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulPackedInto(dst, x, y, pack)
+	}
+}
+
+func BenchmarkIm2ColBatch8(b *testing.B) {
+	g := ConvGeom{InC: 8, InH: 16, InW: 16, Kernel: 3, Stride: 1, Pad: 1}
+	x := New(8, 8, 16, 16)
+	rng.New(1).FillNormal(x.Data(), 0, 1)
+	dst := New(8*9, 8*16*16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2ColBatchInto(dst, x, g)
+	}
+}

@@ -24,39 +24,16 @@ func (t *Tensor) Alias(data []float64, shape ...int) *Tensor {
 }
 
 // MatMulInto multiplies a (m×k) by b (k×n) into dst (m×n), which must have
-// the exact output shape. dst is fully overwritten. The accumulation order
-// (and the zero-row skip) is identical to MatMul, so results are
-// bit-identical to the allocating variant.
+// the exact output shape. dst is fully overwritten. The cache-blocked kernel
+// preserves the naive per-element accumulation order (and the zero-term
+// skip), so results are bit-identical to the historical ikj loop; see
+// blocked.go for the blocking scheme and the identity argument.
 func MatMulInto(dst, a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: MatMulInto needs rank-2 operands, got %v × %v", a.shape, b.shape))
-	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulInto inner dims %d vs %d", k, k2))
-	}
-	if dst.Rank() != 2 || dst.shape[0] != m || dst.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulInto dst %v, want [%d %d]", dst.shape, m, n))
-	}
+	m, k, n := checkMatMulShapes(dst, a, b, "MatMulInto")
 	for i := range dst.data {
 		dst.data[i] = 0
 	}
-	// ikj loop order: streams through b and dst rows, good cache behaviour.
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := dst.data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
+	matmulBlocked(dst.data, a.data, b.data, m, k, n, nil)
 	return dst
 }
 

@@ -1,0 +1,125 @@
+package twin
+
+import (
+	"math"
+	"testing"
+
+	"advhunter/internal/core"
+	"advhunter/internal/engine"
+	"advhunter/internal/tensor"
+	"advhunter/internal/uarch/hpc"
+)
+
+// TestBatchIdentityPredictBatch pins the table contract: PredictBatch fills
+// exactly what Predict returns per sparsity row, bit for bit, including
+// clamped out-of-range sparsities.
+func TestBatchIdentityPredictBatch(t *testing.T) {
+	samples, model := fixture(t)
+	tab := mustProfile(t, engine.NewDefault(model), samples, 8, 0)
+	leaves := len(tab.Layers)
+	rows := [][]float64{
+		make([]float64, leaves), // all zero
+		make([]float64, leaves),
+		make([]float64, leaves),
+		make([]float64, leaves),
+	}
+	for j := range rows[1] {
+		rows[1][j] = float64(j%10) / 10
+	}
+	for j := range rows[2] {
+		rows[2][j] = 1.5 // clamps to 1
+	}
+	for j := range rows[3] {
+		rows[3][j] = -0.25 // clamps to 0
+	}
+	outs := make([]hpc.Counts, len(rows))
+	tab.PredictBatch(rows, outs)
+	for i, sp := range rows {
+		var want hpc.Counts
+		tab.Predict(sp, &want)
+		for ev := hpc.Event(0); ev < hpc.NumEvents; ev++ {
+			if math.Float64bits(outs[i][ev]) != math.Float64bits(want[ev]) {
+				t.Fatalf("row %d event %v: PredictBatch %v, Predict %v", i, ev, outs[i][ev], want[ev])
+			}
+		}
+	}
+}
+
+// TestBatchIdentityMeasureTwin is the twin-tier form of the batched
+// measurement contract: MeasureBatchCached must match a sequential
+// MeasureAtCached loop measurement for measurement — hit flags, in-batch
+// revisits, warm caches, nil cache — across interleaved batch widths.
+func TestBatchIdentityMeasureTwin(t *testing.T) {
+	samples, model := fixture(t)
+	tab := mustProfile(t, engine.NewDefault(model), samples, 8, 0)
+	ref, err := NewMeasurer(engine.NewDefault(model), tab, hpc.DefaultNoise(), 42, 10)
+	if err != nil {
+		t.Fatalf("NewMeasurer: %v", err)
+	}
+	bat, err := NewMeasurer(engine.NewDefault(model), tab, hpc.DefaultNoise(), 42, 10)
+	if err != nil {
+		t.Fatalf("NewMeasurer: %v", err)
+	}
+	refCache := core.NewTruthCache(16)
+	batCache := core.NewTruthCache(16)
+
+	// Revisit-heavy first batch, then interleaved widths over the warm cache.
+	orders := [][]int{
+		{0, 1, 0, 2, 1, 0, 3, 2},
+		{4},
+		{0, 4, 3},
+		{2, 1, 4, 0, 3, 2, 1, 0},
+	}
+	next := uint64(0)
+	for _, order := range orders {
+		n := len(order)
+		idxs := make([]uint64, n)
+		xs := make([]*tensor.Tensor, n)
+		for i, si := range order {
+			idxs[i] = next
+			xs[i] = samples[si%len(samples)].X
+			next++
+		}
+		want := make([]core.Measurement, n)
+		wantH := make([]bool, n)
+		for i := range idxs {
+			want[i], wantH[i] = ref.MeasureAtCached(refCache, idxs[i], xs[i])
+		}
+		got := make([]core.Measurement, n)
+		gotH := make([]bool, n)
+		bat.MeasureBatchCached(batCache, idxs, xs, got, gotH)
+		for i := range idxs {
+			if got[i] != want[i] {
+				t.Fatalf("width %d, index %d: batched twin measurement diverged:\nbatch:      %+v\nsequential: %+v",
+					n, idxs[i], got[i], want[i])
+			}
+			if gotH[i] != wantH[i] {
+				t.Fatalf("width %d, index %d: batched hit %v, sequential %v", n, idxs[i], gotH[i], wantH[i])
+			}
+		}
+	}
+	// Same working set either way; the hit flags above are the contract (the
+	// batched dedupe answers in-batch revisits without a cache round-trip).
+	if rl, bl := refCache.Len(), batCache.Len(); rl != bl {
+		t.Fatalf("twin cache residency diverged: batch %d entries, sequential %d", bl, rl)
+	}
+
+	// nil cache: no memoisation, identical readings.
+	idxs := []uint64{next, next + 1, next + 2}
+	xs := []*tensor.Tensor{samples[0].X, samples[1].X, samples[0].X}
+	want := make([]core.Measurement, len(idxs))
+	for i := range idxs {
+		want[i], _ = ref.MeasureAtCached(nil, idxs[i], xs[i])
+	}
+	got := make([]core.Measurement, len(idxs))
+	gotH := make([]bool, len(idxs))
+	bat.MeasureBatchCached(nil, idxs, xs, got, gotH)
+	for i := range idxs {
+		if gotH[i] {
+			t.Fatalf("index %d: nil-cache twin batch reported a hit", idxs[i])
+		}
+		if got[i] != want[i] {
+			t.Fatalf("index %d: nil-cache twin batched measurement diverged", idxs[i])
+		}
+	}
+}

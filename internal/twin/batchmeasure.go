@@ -1,0 +1,146 @@
+package twin
+
+import (
+	"advhunter/internal/core"
+	"advhunter/internal/tensor"
+	"advhunter/internal/uarch/hpc"
+)
+
+// twinBatchScratch holds MeasureBatchCached's reusable buffers. The sparsity
+// rows share one backing array sized batch×leaves so growth is a single
+// allocation per high-water batch width.
+type twinBatchScratch struct {
+	fps    []uint64
+	src    []int // per sample: -1 = cache hit (truth in tr), else miss slot
+	tr     []core.Truth
+	mtr    []core.Truth
+	mxs    []*tensor.Tensor
+	midx   []int
+	sp     [][]float64
+	spBuf  []float64
+	preds  []int
+	confs  []float64
+	counts []hpc.Counts
+}
+
+func (b *twinBatchScratch) grow(n, leaves int) {
+	if cap(b.fps) < n {
+		b.fps = make([]uint64, n)
+		b.src = make([]int, n)
+		b.tr = make([]core.Truth, n)
+		b.mtr = make([]core.Truth, n)
+		b.mxs = make([]*tensor.Tensor, n)
+		b.midx = make([]int, n)
+		b.sp = make([][]float64, n)
+		b.spBuf = make([]float64, n*leaves)
+		for i := range b.sp {
+			b.sp[i] = b.spBuf[i*leaves : (i+1)*leaves]
+		}
+		b.preds = make([]int, n)
+		b.confs = make([]float64, n)
+		b.counts = make([]hpc.Counts, n)
+	}
+	b.fps = b.fps[:n]
+	b.src = b.src[:n]
+	b.tr = b.tr[:n]
+	b.mtr = b.mtr[:n]
+	b.mxs = b.mxs[:n]
+	b.midx = b.midx[:n]
+	b.preds = b.preds[:n]
+	b.confs = b.confs[:n]
+	b.counts = b.counts[:n]
+}
+
+// MeasureBatchCached is the twin analogue of core.Measurer.MeasureBatchCached:
+// unique cache misses run through one batched machine-free stats pass and one
+// batched table lookup, then every sample's noisy reading is drawn from its
+// own index stream. out[i] is bit-identical to a sequential
+// MeasureAtCached(cache, idxs[i], xs[i]) loop — ForwardStatsBatch and
+// PredictBatch are pinned bit-identical to their per-sample forms, and the
+// noise is keyed by idxs[i] alone. hits, when non-nil, reports per-sample
+// cache hits with in-batch duplicates counting as hits, matching sequential
+// in-order semantics. Single-goroutine, like the measurer's other methods.
+func (m *Measurer) MeasureBatchCached(cache *core.TruthCache, idxs []uint64, xs []*tensor.Tensor, out []core.Measurement, hits []bool) {
+	n := len(xs)
+	if len(idxs) < n || len(out) < n || (hits != nil && len(hits) < n) {
+		panic("twin: MeasureBatchCached slices shorter than batch")
+	}
+	if n == 0 {
+		return
+	}
+	b := &m.batch
+	b.grow(n, len(m.sp))
+
+	nm := 0
+	if cache == nil {
+		for i, x := range xs {
+			b.src[i] = i
+			b.mxs[i] = x
+			b.midx[i] = i
+			if hits != nil {
+				hits[i] = false
+			}
+		}
+		nm = n
+	} else {
+		for i, x := range xs {
+			fp := core.Fingerprint(x)
+			b.fps[i] = fp
+			if t, ok := cache.Get(fp); ok {
+				b.tr[i] = t
+				b.src[i] = -1
+				if hits != nil {
+					hits[i] = true
+				}
+				continue
+			}
+			dup := -1
+			for j := 0; j < nm; j++ {
+				if b.fps[b.midx[j]] == fp {
+					dup = j
+					break
+				}
+			}
+			if dup >= 0 {
+				b.src[i] = dup
+				if hits != nil {
+					hits[i] = true
+				}
+				continue
+			}
+			b.src[i] = nm
+			b.midx[nm] = i
+			b.mxs[nm] = x
+			if hits != nil {
+				hits[i] = false
+			}
+			nm++
+		}
+	}
+
+	if nm > 0 {
+		m.Engine.ForwardStatsBatch(b.mxs[:nm], b.sp[:nm], b.preds, b.confs)
+		m.Table.PredictBatch(b.sp[:nm], b.counts)
+		for j := 0; j < nm; j++ {
+			t := core.Truth{Pred: b.preds[j], Conf: b.confs[j], Counts: b.counts[j]}
+			b.mtr[j] = t
+			if cache != nil {
+				cache.Put(b.fps[b.midx[j]], t)
+			}
+			b.mxs[j] = nil
+		}
+	}
+
+	for i := range xs {
+		t := b.tr[i]
+		if b.src[i] >= 0 {
+			t = b.mtr[b.src[i]]
+		}
+		out[i] = core.Measurement{
+			Pred:      t.Pred,
+			TrueLabel: -1,
+			Counts:    m.ns.SamplerAt(m.Noise, m.Seed, idxs[i]).MeasureMean(t.Counts, m.R),
+			Conf:      t.Conf,
+		}
+	}
+}

@@ -32,6 +32,9 @@ type Measurer struct {
 
 	sp []float64
 	ns core.NoiseStream
+
+	// batch holds MeasureBatchCached's reusable buffers (batchmeasure.go).
+	batch twinBatchScratch
 }
 
 // NewMeasurer builds a twin backend around an engine (used only for its
